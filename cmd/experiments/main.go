@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -fig all -scale 0.1 -repeats 5
+//
+// -fig selects 3, 4, 5, 8, c1 or all. Figures 3/4/8 run the fifteen
+// queries of Figure 2 over a generated XMark document; Figure 5 builds
+// the four synthetic configurations; c1 prints the ASTA-vs-STA
+// succinctness table of Example C.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3|4|5|8|c1|scaling|all")
+		scale   = flag.Float64("scale", 0.1, "XMark scale for figures 3/4/8")
+		scale5  = flag.Float64("scale5", 1.0, "scale for the figure 5 configurations (1.0 = paper's exact counts)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		repeats = flag.Int("repeats", 5, "timing repetitions (best-of, as in the paper)")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	needWorkload := want("3") || want("4") || want("8")
+
+	var w *exp.Workload
+	if needWorkload {
+		fmt.Fprintf(os.Stderr, "generating XMark document (scale %g)...\n", *scale)
+		w = exp.NewWorkload(*scale, *seed)
+		fmt.Fprintf(os.Stderr, "document: %d nodes\n\n", w.Doc.NumNodes())
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if want("3") {
+		rows, err := exp.Figure3(w)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFigure3(rows, w.Doc.NumNodes()))
+	}
+	if want("4") {
+		rows, err := exp.Figure4(w, *repeats)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFigure4(rows))
+	}
+	if want("5") {
+		rows, err := exp.Figure5(*scale5, *repeats)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFigure5(rows))
+	}
+	if want("8") {
+		rows, err := exp.Figure8(w, *repeats)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatFigure8(rows))
+	}
+	if want("c1") {
+		rows, err := exp.ExampleC1([]int{1, 2, 4, 8, 12, 16, 20})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatExampleC1(rows))
+	}
+	if want("scaling") {
+		const q = "//listitem//keyword"
+		rows, err := exp.Scaling(q, []float64{0.01, 0.02, 0.05, 0.1, 0.2}, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.FormatScaling(q, rows))
+	}
+	switch *fig {
+	case "3", "4", "5", "8", "c1", "scaling", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,111 @@
+// Command xpq evaluates an XPath query over an XML file with a chosen
+// strategy and reports the selected nodes:
+//
+//	xpq -file doc.xml -query '//listitem//keyword' [-strategy auto] [-paths] [-stats]
+//
+// With -xmark SCALE a generated XMark document is used instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "XML input file")
+		xmarkSc  = flag.Float64("xmark", 0, "generate an XMark document at this scale instead of reading a file")
+		seed     = flag.Int64("seed", 1, "XMark generator seed")
+		query    = flag.String("query", "", "XPath query (required)")
+		strategy = flag.String("strategy", "auto", "auto|naive|jumping|memoized|optimized|hybrid|topdown-det|stepwise")
+		paths    = flag.Bool("paths", false, "print the label path of each selected node")
+		stats    = flag.Bool("stats", false, "print evaluation statistics")
+		limit    = flag.Int("limit", 20, "maximum selected nodes to print (0 = all)")
+	)
+	flag.Parse()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "xpq: -query is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var doc *repro.Document
+	var err error
+	switch {
+	case *xmarkSc > 0:
+		doc = repro.GenerateXMark(*xmarkSc, *seed)
+	case *file != "":
+		doc, err = repro.ParseXMLFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpq:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "xpq: need -file or -xmark")
+		os.Exit(2)
+	}
+
+	strat, ok := parseStrategy(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xpq: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	eng := repro.NewEngine(doc)
+	start := time.Now()
+	ans, err := eng.QueryWith(*query, strat)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpq:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d nodes selected (%s, %.3f ms)\n",
+		len(ans.Nodes), ans.Strategy, float64(elapsed.Nanoseconds())/1e6)
+	if *stats {
+		fmt.Printf("document nodes: %d, visited: %d", doc.NumNodes(), ans.Visited)
+		if ans.MemoEntries > 0 {
+			fmt.Printf(", memo entries: %d", ans.MemoEntries)
+		}
+		fmt.Println()
+	}
+	n := len(ans.Nodes)
+	if *limit > 0 && n > *limit {
+		n = *limit
+	}
+	for _, v := range ans.Nodes[:n] {
+		if *paths {
+			fmt.Printf("  node %d  %s\n", v, doc.Path(v))
+		} else {
+			fmt.Printf("  node %d  <%s>\n", v, doc.LabelName(v))
+		}
+	}
+	if n < len(ans.Nodes) {
+		fmt.Printf("  ... and %d more\n", len(ans.Nodes)-n)
+	}
+}
+
+func parseStrategy(s string) (repro.Strategy, bool) {
+	switch s {
+	case "auto":
+		return repro.Auto, true
+	case "naive":
+		return repro.Naive, true
+	case "jumping":
+		return repro.Jumping, true
+	case "memoized":
+		return repro.Memoized, true
+	case "optimized":
+		return repro.Optimized, true
+	case "hybrid":
+		return repro.Hybrid, true
+	case "topdown-det":
+		return repro.TopDownDet, true
+	case "stepwise":
+		return repro.Stepwise, true
+	}
+	return repro.Auto, false
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]repro.Strategy{
+		"auto":        repro.Auto,
+		"naive":       repro.Naive,
+		"jumping":     repro.Jumping,
+		"memoized":    repro.Memoized,
+		"optimized":   repro.Optimized,
+		"hybrid":      repro.Hybrid,
+		"topdown-det": repro.TopDownDet,
+		"stepwise":    repro.Stepwise,
+	}
+	for name, want := range cases {
+		got, ok := parseStrategy(name)
+		if !ok || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := parseStrategy("bogus"); ok {
+		t.Error("bogus strategy accepted")
+	}
+}

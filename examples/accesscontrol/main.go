@@ -1,0 +1,90 @@
+// Access control: XPath as a policy language (the XACML use case from
+// the paper's introduction). A policy is an ordered list of allow/deny
+// XPath rules; the engine evaluates each rule once over the document and
+// the example computes, per node, the first matching rule — then redacts
+// the document accordingly.
+//
+//	go run ./examples/accesscontrol
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+const record = `<patients>
+  <patient id="p1">
+    <name>Ada</name>
+    <diagnosis><code>J45</code><notes>stable</notes></diagnosis>
+    <billing><card>4111</card><address>1 Main St</address></billing>
+  </patient>
+  <patient id="p2">
+    <name>Grace</name>
+    <diagnosis><code>E11</code><notes>review</notes></diagnosis>
+    <billing><card>5500</card><address>2 High St</address></billing>
+  </patient>
+</patients>`
+
+type rule struct {
+	allow bool
+	query string
+	why   string
+}
+
+// policy for the "clinician" role: may see diagnoses, never billing
+// instruments.
+var policy = []rule{
+	{false, "//billing/card", "payment instruments are always denied"},
+	{true, "//patient/name", "clinicians see names"},
+	{true, "//diagnosis", "clinicians see full diagnoses"},
+	{true, "//diagnosis//*", "...including nested elements"},
+	{false, "//billing", "billing subtree denied"},
+	{false, "//billing//*", "...entirely"},
+}
+
+func main() {
+	doc, err := repro.ParseXMLString(record)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := repro.NewEngine(doc)
+
+	// Evaluate every rule once; first match wins per node.
+	decision := make(map[repro.NodeID]*rule)
+	for i := range policy {
+		r := &policy[i]
+		ans, err := eng.Query(r.query)
+		if err != nil {
+			log.Fatalf("rule %q: %v", r.query, err)
+		}
+		for _, v := range ans.Nodes {
+			if _, seen := decision[v]; !seen {
+				decision[v] = r
+			}
+		}
+	}
+
+	fmt.Println("per-node decisions (undecided elements inherit a deny-by-default):")
+	var visible, redacted int
+	for v := repro.NodeID(0); int(v) < doc.NumNodes(); v++ {
+		name := doc.LabelName(v)
+		if strings.HasPrefix(name, "#") || strings.HasPrefix(name, "@") {
+			continue
+		}
+		r, ok := decision[v]
+		switch {
+		case ok && r.allow:
+			visible++
+			fmt.Printf("  ALLOW %-28s (%s)\n", doc.Path(v), r.why)
+		case ok:
+			redacted++
+			fmt.Printf("  DENY  %-28s (%s)\n", doc.Path(v), r.why)
+		default:
+			redacted++
+		}
+	}
+	fmt.Printf("\n%d elements visible, %d redacted\n", visible, redacted)
+}

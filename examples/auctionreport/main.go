@@ -1,0 +1,63 @@
+// Auction report: the XQuery-style analytics workload the paper's
+// introduction motivates. Generates an XMark auction document, then
+// answers a set of reporting questions with the whole-query optimizer,
+// showing which strategy the engine picked and how little of the
+// document each query touched.
+//
+//	go run ./examples/auctionreport [-scale 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "XMark scale factor")
+	flag.Parse()
+
+	fmt.Printf("generating auction site data (scale %g)...\n", *scale)
+	doc := repro.GenerateXMark(*scale, 42)
+	fmt.Printf("document: %d nodes\n\n", doc.NumNodes())
+	eng := repro.NewEngine(doc)
+
+	report := []struct {
+		question string
+		query    string
+	}{
+		{"items offered in Europe", "/site/regions/europe/item"},
+		{"items with dated mail correspondence", "/site/regions/*/item[ mailbox/mail/date ]"},
+		{"reachable people (address plus phone or homepage)",
+			"/site/people/person[ address and (phone or homepage) ]"},
+		{"closed-auction listitems", "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem"},
+		{"keywords anywhere in descriptions", "//description//keyword"},
+		{"emphasized keywords in item lists", "//listitem//keyword//emph"},
+		{"persons with a profile but no listed age", "//person[ profile and not(profile/age) ]"},
+	}
+
+	for _, r := range report {
+		start := time.Now()
+		ans, err := eng.Query(r.query)
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatalf("%s: %v", r.query, err)
+		}
+		frac := 100 * float64(ans.Visited) / float64(doc.NumNodes())
+		fmt.Printf("%-52s %6d matches  %8.3f ms  [%s, touched %.1f%% of doc]\n",
+			r.question, len(ans.Nodes), float64(elapsed.Nanoseconds())/1e6, ans.Strategy, frac)
+	}
+
+	// The paper's fifteen benchmark queries, via the same engine.
+	fmt.Println("\npaper benchmark queries:")
+	for _, q := range repro.PaperQueries() {
+		ans, err := eng.Query(q.XPath)
+		if err != nil {
+			log.Fatalf("%s: %v", q.ID, err)
+		}
+		fmt.Printf("  %s %-70s %7d nodes [%s]\n", q.ID, q.XPath, len(ans.Nodes), ans.Strategy)
+	}
+}

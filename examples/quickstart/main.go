@@ -1,0 +1,75 @@
+// Quickstart: parse a document, run queries, inspect results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const catalog = `<catalog>
+  <section name="databases">
+    <book year="2010">
+      <title>XPath Whole Query Optimization</title>
+      <author>Maneth</author><author>Nguyen</author>
+      <keywords><keyword>xpath</keyword><keyword>automata</keyword></keywords>
+    </book>
+    <book year="2002">
+      <title>Efficient Algorithms for Processing XPath Queries</title>
+      <author>Gottlob</author><author>Koch</author><author>Pichler</author>
+    </book>
+  </section>
+  <section name="succinct">
+    <book year="2009">
+      <title>Fully-Functional Succinct Trees</title>
+      <author>Sadakane</author><author>Navarro</author>
+      <keywords><keyword>trees</keyword></keywords>
+    </book>
+  </section>
+</catalog>`
+
+func main() {
+	doc, err := repro.ParseXMLString(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := repro.NewEngine(doc)
+
+	queries := []string{
+		"//book/title",
+		"//book[keywords]/title",
+		"//section/book[author]/author",
+		"//book[keywords/keyword]//author",
+		"//book[not(keywords)]/title",
+	}
+	for _, q := range queries {
+		ans, err := eng.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		fmt.Printf("%-40s -> %d nodes (strategy %s)\n", q, len(ans.Nodes), ans.Strategy)
+		for _, v := range ans.Nodes {
+			// The first child of a title/author element is its text.
+			text := ""
+			if c := doc.FirstChild(v); c != repro.Nil {
+				text = doc.Text(c)
+			}
+			fmt.Printf("    %-30s %q\n", doc.Path(v), text)
+		}
+	}
+
+	// The same query under different strategies always selects the same
+	// nodes; the effort differs.
+	fmt.Println("\nstrategy comparison for //book[keywords]/title:")
+	for _, s := range []repro.Strategy{repro.Naive, repro.Optimized, repro.Stepwise} {
+		ans, err := eng.QueryWith("//book[keywords]/title", s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-10s selected %d, visited %d of %d nodes\n",
+			ans.Strategy, len(ans.Nodes), ans.Visited, doc.NumNodes())
+	}
+}

@@ -1,0 +1,539 @@
+package asta
+
+import (
+	"repro/internal/index"
+	"repro/internal/tree"
+)
+
+// Options selects the evaluation strategy, matching the four series of
+// Figure 4: zero value = "Naive Eval."; Jump = "Jumping Eval."; Memo =
+// "Memo. Eval."; both = "Opt. Eval.". InfoProp enables the information
+// propagation of §4.4 (restricting the states verified in the second
+// child using the first child's outcome).
+type Options struct {
+	Jump     bool
+	Memo     bool
+	InfoProp bool
+}
+
+// Opt returns the fully optimized configuration.
+func Opt() Options { return Options{Jump: true, Memo: true, InfoProp: true} }
+
+// Stats reports evaluator effort, the quantities tabulated in Figure 3.
+type Stats struct {
+	// Visited counts the nodes the run function touched (Figure 3,
+	// lines (2)/(3)).
+	Visited int
+	// MemoEntries counts distinct memoized configurations (Figure 3,
+	// line (4): nodes that paid the |Q| factor).
+	MemoEntries int
+	// MemoHits counts constant-time lookups served by the tables.
+	MemoHits int
+	// Jumps counts index jump operations performed.
+	Jumps int
+}
+
+// Result is the outcome of an ASTA evaluation.
+type Result struct {
+	// Accepted reports whether some run reaches a top state at the root.
+	Accepted bool
+	// Selected is A(t) in document order, duplicate-free.
+	Selected []tree.NodeID
+	// Stats reports effort counters.
+	Stats Stats
+}
+
+// Eval runs the automaton over the document with the given options. The
+// index may be nil when Options.Jump is false.
+func (a *ASTA) Eval(d *tree.Document, ix *index.Index, opt Options) Result {
+	e := &evaluator{a: a, d: d, ix: ix, opt: opt}
+	if opt.Memo {
+		e.setIDs = make(map[StateSet]int32, 16)
+		e.numLabels = d.Names().Size()
+	}
+	if opt.Jump {
+		e.initPureSets()
+		e.cur = ix.NewCursors()
+	}
+	g := e.evalChild(d.Root(), a.Top, e.internSet(a.Top))
+	res := Result{Stats: e.stats}
+	acc := g.Sat & a.Top
+	if acc == 0 {
+		return res
+	}
+	res.Accepted = true
+	var all *NodeList
+	acc.Each(func(q State) {
+		all = concat(all, g.List(q))
+	})
+	res.Selected = all.Flatten()
+	return res
+}
+
+// transInfo is the memoized outcome of Line 3 of Algorithm 4.1: the
+// active transitions for (r, label), the child state sets r1, r2 (their
+// interned ids when memoizing), and the eval_trans recipes keyed by the
+// children's satisfied sets.
+type transInfo struct {
+	trans      []int32
+	r1, r2     StateSet
+	r1ID, r2ID int32
+	// recipes: (sat1, sat2) → recipe; only allocated in memo mode.
+	recipes map[satPair]*recipe
+	// r2memo: sat1 → restricted r2 (information propagation).
+	r2memo map[StateSet]r2entry
+}
+
+type satPair struct{ s1, s2 StateSet }
+
+type r2entry struct {
+	r2   StateSet
+	r2ID int32
+}
+
+// op is one step of a recipe: how a fired transition contributes to Γ.
+type opKind int8
+
+const (
+	opMark  opKind = iota // add the current node to Γ(target)
+	opLeft                // union Γ1(src) into Γ(target)
+	opRight               // union Γ2(src) into Γ(target)
+)
+
+type op struct {
+	target State
+	kind   opKind
+	src    State
+}
+
+// recipe is the memoized outcome of eval_trans for fixed (active
+// transitions, sat1, sat2): the satisfied states and the Γ-building
+// operations, which are position-independent (only the node id varies).
+type recipe struct {
+	sat StateSet
+	ops []op
+}
+
+type evaluator struct {
+	a   *ASTA
+	d   *tree.Document
+	ix  *index.Index
+	opt Options
+
+	// Memo structures: state sets are interned to dense ids; per-set
+	// rows are indexed by label for constant-time transition lookup.
+	setIDs    map[StateSet]int32
+	sets      []StateSet
+	rows      [][]*transInfo
+	jumps     []jumpInfo
+	jumpsDone []bool
+	numLabels int
+
+	pure  pureSets
+	arena cellArena
+	cur   *index.Cursors
+	stats Stats
+
+	// Non-memo fallback cache of jump analyses (tiny: one per distinct
+	// descent set).
+	jumpCache map[StateSet]jumpInfo
+}
+
+// internSet returns the dense id of a state set, registering it on first
+// sight. Only used in memo/jump modes; cheap map hit otherwise.
+func (e *evaluator) internSet(r StateSet) int32 {
+	if e.setIDs == nil {
+		return -1
+	}
+	if id, ok := e.setIDs[r]; ok {
+		return id
+	}
+	id := int32(len(e.sets))
+	e.setIDs[r] = id
+	e.sets = append(e.sets, r)
+	e.rows = append(e.rows, nil)
+	e.jumps = append(e.jumps, jumpInfo{})
+	e.jumpsDone = append(e.jumpsDone, false)
+	return id
+}
+
+// eval is Algorithm 4.1 proper: evaluate node v under the incoming state
+// set r (with interned id rID in memo mode, else -1).
+func (e *evaluator) eval(v tree.NodeID, r StateSet, rID int32) RSet {
+	e.stats.Visited++
+	l := e.d.Label(v)
+	ti := e.lookupTrans(r, rID, l)
+	if len(ti.trans) == 0 {
+		return emptyRSet
+	}
+	g1 := e.evalChild(e.d.BinaryLeft(v), ti.r1, ti.r1ID)
+	r2, r2ID := ti.r2, ti.r2ID
+	if e.opt.InfoProp {
+		r2, r2ID = e.lookupR2(ti, g1.Sat)
+	}
+	g2 := e.evalChild(e.d.BinaryRight(v), r2, r2ID)
+	return e.applyTrans(ti, v, &g1, &g2)
+}
+
+// evalChild evaluates the subtree at c (which may be the # leaf Nil)
+// under r, applying the relevant-node jumps of §4.3 when enabled.
+func (e *evaluator) evalChild(c tree.NodeID, r StateSet, rID int32) RSet {
+	if c == tree.Nil || r == 0 {
+		return emptyRSet
+	}
+	if !e.opt.Jump {
+		return e.eval(c, r, rID)
+	}
+	ji := e.lookupJump(r, rID)
+	if ji.kind != jumpNone && ji.essential.Contains(e.d.Label(c)) {
+		return e.eval(c, r, rID)
+	}
+	switch ji.kind {
+	case jumpTopMost:
+		return e.jumpTopMostRegion(c, r, rID, ji)
+	case jumpRightPath:
+		e.stats.Jumps++
+		u := e.cur.Rt(c, ji.essential)
+		if u == index.Nil {
+			return emptyRSet
+		}
+		return e.eval(u, r, rID)
+	case jumpLeftPath:
+		e.stats.Jumps++
+		u := e.ix.Lt(c, ji.essential)
+		if u == index.Nil {
+			return emptyRSet
+		}
+		return e.eval(u, r, rID)
+	default:
+		return e.eval(c, r, rID)
+	}
+}
+
+// jumpTopMostRegion evaluates a skipped region by enumerating its
+// top-most essential nodes (dt/ft jumps) and unioning their results —
+// sound because every state of the set loops with ↓1 q ∨ ↓2 q on the
+// skipped labels. With information propagation, states that are already
+// satisfied by an earlier part of the region and cannot mark nodes are
+// dropped for the remaining enumeration — the "only one witness" effect
+// that makes the Q13-Q15 predicates of Figure 3 nearly free.
+func (e *evaluator) jumpTopMostRegion(c tree.NodeID, r StateSet, rID int32, ji jumpInfo) RSet {
+	ids, ok := ji.essential.Finite()
+	if !ok {
+		return e.eval(c, r, rID)
+	}
+	e.stats.Jumps++
+	end := e.ix.BinEnd(c)
+	after := c
+	var out RSet
+	for {
+		best := tree.Nil
+		for _, l := range ids {
+			if u := e.cur.NextAfter(l, after); u != tree.Nil && u <= end &&
+				(best == tree.Nil || u < best) {
+				best = u
+			}
+		}
+		if best == tree.Nil {
+			return out
+		}
+		g := e.eval(best, r, rID)
+		out.union(&g, &e.arena)
+		after = e.ix.BinEnd(best)
+		if !e.opt.InfoProp {
+			continue
+		}
+		// Drop satisfied, non-marking states: the region's disjunction
+		// for them is already true and they carry no result lists.
+		pruned := r &^ (out.Sat &^ e.a.marking)
+		if pruned == r {
+			continue
+		}
+		if pruned == 0 {
+			return out
+		}
+		r = pruned
+		rID = e.internSet(r)
+		nji := e.lookupJump(r, rID)
+		if nji.kind == jumpTopMost {
+			if nids, ok := nji.essential.Finite(); ok {
+				ids = nids
+			}
+		}
+	}
+}
+
+// lookupTrans computes (or recalls) Line 3: active transitions and child
+// state sets.
+func (e *evaluator) lookupTrans(r StateSet, rID int32, l tree.LabelID) *transInfo {
+	if !e.opt.Memo {
+		return e.computeTransFor(r, l, false)
+	}
+	row := e.rows[rID]
+	if row == nil {
+		n := e.numLabels
+		if int(l) >= n {
+			n = int(l) + 1
+		}
+		row = make([]*transInfo, n)
+		e.rows[rID] = row
+	} else if int(l) >= len(row) {
+		grown := make([]*transInfo, int(l)+1)
+		copy(grown, row)
+		row = grown
+		e.rows[rID] = row
+	}
+	if ti := row[l]; ti != nil {
+		e.stats.MemoHits++
+		return ti
+	}
+	ti := e.computeTransFor(r, l, true)
+	row[l] = ti
+	e.stats.MemoEntries++
+	return ti
+}
+
+// computeTransFor evaluates Line 3 from scratch for one label, paying
+// the |Q| factor — the naive cost model. With memo set it also interns
+// the child sets and allocates the recipe tables.
+func (e *evaluator) computeTransFor(r StateSet, l tree.LabelID, memo bool) *transInfo {
+	ti := &transInfo{r1ID: -1, r2ID: -1}
+	rest := r
+	for q := State(0); rest != 0; q++ {
+		if rest&1 != 0 {
+			for _, idx := range e.a.byFrom[q] {
+				t := &e.a.Trans[idx]
+				if t.Guard.Contains(l) {
+					ti.trans = append(ti.trans, idx)
+					ti.r1 |= t.down1
+					ti.r2 |= t.down2
+				}
+			}
+		}
+		rest >>= 1
+	}
+	if memo {
+		ti.r1ID = e.internSet(ti.r1)
+		ti.r2ID = e.internSet(ti.r2)
+		ti.recipes = make(map[satPair]*recipe, 4)
+		if e.opt.InfoProp {
+			ti.r2memo = make(map[StateSet]r2entry, 4)
+		}
+	}
+	return ti
+}
+
+// lookupR2 applies information propagation: given the satisfied states
+// of the first child, restrict the states verified in the second child
+// to those still needed for a transition's value or for carrying marked
+// nodes.
+func (e *evaluator) lookupR2(ti *transInfo, sat1 StateSet) (StateSet, int32) {
+	if ti.r2memo != nil {
+		if ent, ok := ti.r2memo[sat1]; ok {
+			e.stats.MemoHits++
+			return ent.r2, ent.r2ID
+		}
+		r2 := e.computeR2(ti, sat1)
+		ent := r2entry{r2: r2, r2ID: e.internSet(r2)}
+		ti.r2memo[sat1] = ent
+		e.stats.MemoEntries++
+		return ent.r2, ent.r2ID
+	}
+	return e.computeR2(ti, sat1), -1
+}
+
+func (e *evaluator) computeR2(ti *transInfo, sat1 StateSet) StateSet {
+	var r2 StateSet
+	for _, idx := range ti.trans {
+		t := &e.a.Trans[idx]
+		tv, need := e.partial(t.Phi, sat1)
+		if tv == pF {
+			continue // transition cannot fire; its ↓2 moves are dead
+		}
+		r2 |= need
+	}
+	return r2
+}
+
+// Three-valued logic for partial formula evaluation.
+const (
+	pF int8 = -1
+	pU int8 = 0
+	pT int8 = 1
+)
+
+// partial evaluates φ knowing only the first child's satisfied states.
+// It returns the three-valued outcome and the ↓2 states still needed:
+// all undetermined atoms, plus — when the value is already decided — the
+// atoms that can still contribute marked nodes (states whose
+// sub-automaton selects; existential semantics prunes the rest, which is
+// how "only one witness is checked", §4.4).
+func (e *evaluator) partial(f *Formula, sat1 StateSet) (int8, StateSet) {
+	switch f.Kind {
+	case FTrue:
+		return pT, 0
+	case FFalse:
+		return pF, 0
+	case FDown:
+		if f.Child == 1 {
+			if sat1.Has(f.Q) {
+				return pT, 0
+			}
+			return pF, 0
+		}
+		return pU, StateSet(0).With(f.Q)
+	case FNot:
+		tv, need := e.partial(f.Left, sat1)
+		if tv != pU {
+			// Value decided; rule (not) discards marks, so nothing
+			// below is needed anymore.
+			return -tv, 0
+		}
+		return pU, need
+	case FAnd:
+		t1, n1 := e.partial(f.Left, sat1)
+		t2, n2 := e.partial(f.Right, sat1)
+		switch {
+		case t1 == pF || t2 == pF:
+			return pF, 0
+		case t1 == pT && t2 == pT:
+			return pT, (n1 | n2) & e.a.marking
+		case t1 == pT:
+			return t2, n2 | n1&e.a.marking
+		case t2 == pT:
+			return t1, n1 | n2&e.a.marking
+		default:
+			return pU, n1 | n2
+		}
+	case FOr:
+		t1, n1 := e.partial(f.Left, sat1)
+		t2, n2 := e.partial(f.Right, sat1)
+		switch {
+		case t1 == pT || t2 == pT:
+			return pT, (n1 | n2) & e.a.marking
+		case t1 == pF:
+			return t2, n2
+		case t2 == pF:
+			return t1, n1
+		default:
+			return pU, n1 | n2
+		}
+	}
+	return pF, 0
+}
+
+// applyTrans is eval_trans (Definition C.3): evaluate the active
+// transitions' formulas under the children's results and build Γ.
+func (e *evaluator) applyTrans(ti *transInfo, v tree.NodeID, g1, g2 *RSet) RSet {
+	var rec *recipe
+	if ti.recipes != nil {
+		k := satPair{g1.Sat, g2.Sat}
+		if cached, ok := ti.recipes[k]; ok {
+			e.stats.MemoHits++
+			rec = cached
+		} else {
+			rec = e.computeRecipe(ti, g1.Sat, g2.Sat)
+			ti.recipes[k] = rec
+			e.stats.MemoEntries++
+		}
+	} else {
+		rec = e.computeRecipe(ti, g1.Sat, g2.Sat)
+	}
+	out := RSet{Sat: rec.sat}
+	for _, o := range rec.ops {
+		switch o.kind {
+		case opMark:
+			out.add(o.target, e.arena.single(v), &e.arena)
+		case opLeft:
+			out.add(o.target, g1.List(o.src), &e.arena)
+		case opRight:
+			out.add(o.target, g2.List(o.src), &e.arena)
+		}
+	}
+	return out
+}
+
+// computeRecipe evaluates every active transition's formula against the
+// satisfied sets and records which result lists flow where. The recipe
+// depends only on (active transitions, sat1, sat2) — never on the node —
+// which is what makes eval_trans memoizable.
+func (e *evaluator) computeRecipe(ti *transInfo, sat1, sat2 StateSet) *recipe {
+	rec := &recipe{}
+	var scratch []srcRef
+	for _, idx := range ti.trans {
+		t := &e.a.Trans[idx]
+		scratch = scratch[:0]
+		ok := evalFormula(t.Phi, sat1, sat2, &scratch)
+		if !ok {
+			continue
+		}
+		rec.sat = rec.sat.With(t.From)
+		if t.Selecting {
+			rec.ops = append(rec.ops, op{target: t.From, kind: opMark})
+		}
+		for _, s := range scratch {
+			kind := opLeft
+			if s.side == 2 {
+				kind = opRight
+			}
+			rec.ops = append(rec.ops, op{target: t.From, kind: kind, src: s.q})
+		}
+	}
+	return rec
+}
+
+type srcRef struct {
+	side int8
+	q    State
+}
+
+// evalFormula implements the judgement of Figure 7: it returns the truth
+// value and appends to ops the ↓i q atoms that evaluated to true in live
+// (non-discarded) positions — exactly the result lists the rules union.
+func evalFormula(f *Formula, sat1, sat2 StateSet, ops *[]srcRef) bool {
+	switch f.Kind {
+	case FTrue:
+		return true
+	case FFalse:
+		return false
+	case FDown:
+		sat := sat1
+		if f.Child == 2 {
+			sat = sat2
+		}
+		if sat.Has(f.Q) {
+			*ops = append(*ops, srcRef{f.Child, f.Q})
+			return true
+		}
+		return false
+	case FNot:
+		// Rule (not): value is inverted, collected lists are dropped.
+		mark := len(*ops)
+		b := evalFormula(f.Left, sat1, sat2, ops)
+		*ops = (*ops)[:mark]
+		return !b
+	case FAnd:
+		mark := len(*ops)
+		if !evalFormula(f.Left, sat1, sat2, ops) {
+			*ops = (*ops)[:mark]
+			return false
+		}
+		if !evalFormula(f.Right, sat1, sat2, ops) {
+			*ops = (*ops)[:mark]
+			return false
+		}
+		return true
+	case FOr:
+		// Rule (or) unions the lists of all true disjuncts; a false
+		// disjunct leaves no ops behind (every false case truncates its
+		// own contribution), so no compaction is needed.
+		b1 := evalFormula(f.Left, sat1, sat2, ops)
+		mid := len(*ops)
+		b2 := evalFormula(f.Right, sat1, sat2, ops)
+		if !b2 {
+			*ops = (*ops)[:mid]
+		}
+		return b1 || b2
+	}
+	return false
+}

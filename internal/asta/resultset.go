@@ -1,0 +1,200 @@
+package asta
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// NodeList is an immutable rope of nodes with O(1) concatenation — the
+// "simple lists with constant time concatenation" of §4.4. Interior nodes
+// are concatenations, leaves single nodes; sharing is safe because ropes
+// are never mutated.
+type NodeList struct {
+	v    tree.NodeID
+	l, r *NodeList
+}
+
+// single returns a one-element list.
+func single(v tree.NodeID) *NodeList { return &NodeList{v: v} }
+
+// concat returns the concatenation of a and b in O(1).
+func concat(a, b *NodeList) *NodeList {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &NodeList{l: a, r: b}
+}
+
+// cellArena chunk-allocates rope cells: result lists live only for the
+// duration of one evaluation, so batching their allocation removes the
+// dominant per-node GC cost. Addresses are stable because a chunk is
+// never grown, only replaced.
+type cellArena struct {
+	chunk []NodeList
+}
+
+const arenaChunk = 2048
+
+func (a *cellArena) alloc() *NodeList {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]NodeList, 0, arenaChunk)
+	}
+	a.chunk = a.chunk[:len(a.chunk)+1]
+	return &a.chunk[len(a.chunk)-1]
+}
+
+func (a *cellArena) single(v tree.NodeID) *NodeList {
+	c := a.alloc()
+	c.v = v
+	c.l, c.r = nil, nil
+	return c
+}
+
+func (a *cellArena) concat(x, y *NodeList) *NodeList {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	c := a.alloc()
+	c.l, c.r = x, y
+	return c
+}
+
+// Flatten returns the nodes of the rope in concatenation order, sorted
+// into document order and deduplicated (unions of overlapping result
+// lists can repeat a node).
+func (nl *NodeList) Flatten() []tree.NodeID {
+	if nl == nil {
+		return nil
+	}
+	var out []tree.NodeID
+	var stack []*NodeList
+	stack = append(stack, nl)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.l == nil && n.r == nil {
+			out = append(out, n.v)
+			continue
+		}
+		// Push right first so left is emitted first.
+		if n.r != nil {
+			stack = append(stack, n.r)
+		}
+		if n.l != nil {
+			stack = append(stack, n.l)
+		}
+	}
+	sorted := true
+	for i := 1; i < len(out); i++ {
+		if out[i-1] > out[i] {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// RSet is a result set Γ (Definition C.2): the mapping from states to the
+// nodes selected under them, plus its domain — the set of states
+// satisfied at the current node (↓i q tests membership of q in Dom(Γi)).
+// The first two entries are inlined: compiled queries rarely carry node
+// lists for more than two states at once, and keeping them out of the
+// heap removes the dominant per-node allocation.
+type RSet struct {
+	// Sat is Dom(Γ): the satisfied states.
+	Sat StateSet
+	// n counts the live entries across e0, e1 and more.
+	n  int32
+	e0 rentry
+	e1 rentry
+	// more holds per-state node lists beyond the first two.
+	more []rentry
+}
+
+type rentry struct {
+	q  State
+	nl *NodeList
+}
+
+// emptyRSet is the Γ of a # leaf: nothing satisfied, nothing selected.
+var emptyRSet = RSet{}
+
+// List returns Γ(q), which is nil for states without collected nodes.
+func (r *RSet) List(q State) *NodeList {
+	if r.n > 0 && r.e0.q == q {
+		return r.e0.nl
+	}
+	if r.n > 1 && r.e1.q == q {
+		return r.e1.nl
+	}
+	for _, e := range r.more {
+		if e.q == q {
+			return e.nl
+		}
+	}
+	return nil
+}
+
+// add unions nl into Γ(q), assuming q will be in Sat; rope cells come
+// from the arena.
+func (r *RSet) add(q State, nl *NodeList, ar *cellArena) {
+	if nl == nil {
+		return
+	}
+	if r.n > 0 && r.e0.q == q {
+		r.e0.nl = ar.concat(r.e0.nl, nl)
+		return
+	}
+	if r.n > 1 && r.e1.q == q {
+		r.e1.nl = ar.concat(r.e1.nl, nl)
+		return
+	}
+	for i := range r.more {
+		if r.more[i].q == q {
+			r.more[i].nl = ar.concat(r.more[i].nl, nl)
+			return
+		}
+	}
+	switch r.n {
+	case 0:
+		r.e0 = rentry{q, nl}
+	case 1:
+		r.e1 = rentry{q, nl}
+	default:
+		r.more = append(r.more, rentry{q, nl})
+	}
+	r.n++
+}
+
+// union merges another result set into r (used when combining the
+// results of jumped-over sibling regions: the skipped nodes' transitions
+// are pure unions, so Γ of the region is the union of the parts).
+func (r *RSet) union(o *RSet, ar *cellArena) {
+	r.Sat |= o.Sat
+	if o.n > 0 {
+		r.add(o.e0.q, o.e0.nl, ar)
+	}
+	if o.n > 1 {
+		r.add(o.e1.q, o.e1.nl, ar)
+	}
+	for _, e := range o.more {
+		r.add(e.q, e.nl, ar)
+	}
+}

@@ -1,0 +1,213 @@
+// Package bitvec provides a static bit vector with constant-time rank and
+// O(log n) select queries. It is the base layer of the succinct tree
+// representation in internal/bp, which in turn backs the jumping tree index
+// used by the automata evaluator (the role played by the compressed XML
+// indexes of Arroyuelo et al. in the paper).
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	wordBits = 64
+	// superBits is the span of one rank superblock in bits. Ranks are
+	// cumulative per superblock, so rank queries read one superblock
+	// counter plus at most superBits/wordBits words.
+	superBits = 512
+	wordsPer  = superBits / wordBits
+)
+
+// Builder accumulates bits and produces an immutable Vector.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// NewBuilder returns a Builder with capacity for n bits preallocated.
+func NewBuilder(n int) *Builder {
+	return &Builder{words: make([]uint64, 0, (n+wordBits-1)/wordBits)}
+}
+
+// Append adds one bit to the end of the vector under construction.
+func (b *Builder) Append(bit bool) {
+	if b.n%wordBits == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[b.n/wordBits] |= 1 << uint(b.n%wordBits)
+	}
+	b.n++
+}
+
+// AppendN adds the same bit value n times.
+func (b *Builder) AppendN(bit bool, n int) {
+	for i := 0; i < n; i++ {
+		b.Append(bit)
+	}
+}
+
+// Len reports the number of bits appended so far.
+func (b *Builder) Len() int { return b.n }
+
+// Build finalizes the bits into an immutable Vector with rank/select
+// support. The Builder must not be used afterwards.
+func (b *Builder) Build() *Vector {
+	v := &Vector{words: b.words, n: b.n}
+	v.buildRank()
+	b.words = nil
+	b.n = 0
+	return v
+}
+
+// Vector is an immutable bit vector supporting Get, Rank and Select.
+type Vector struct {
+	words []uint64
+	n     int
+	// super[i] = number of 1-bits strictly before superblock i.
+	super []uint64
+	ones  int
+}
+
+// FromBools builds a Vector from a boolean slice; useful in tests.
+func FromBools(bits []bool) *Vector {
+	b := NewBuilder(len(bits))
+	for _, bit := range bits {
+		b.Append(bit)
+	}
+	return b.Build()
+}
+
+func (v *Vector) buildRank() {
+	nSuper := (len(v.words) + wordsPer - 1) / wordsPer
+	v.super = make([]uint64, nSuper+1)
+	var acc uint64
+	for i := 0; i < nSuper; i++ {
+		v.super[i] = acc
+		end := (i + 1) * wordsPer
+		if end > len(v.words) {
+			end = len(v.words)
+		}
+		for _, w := range v.words[i*wordsPer : end] {
+			acc += uint64(bits.OnesCount64(w))
+		}
+	}
+	v.super[nSuper] = acc
+	v.ones = int(acc)
+}
+
+// Len reports the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Ones reports the total number of 1-bits.
+func (v *Vector) Ones() int { return v.ones }
+
+// Zeros reports the total number of 0-bits.
+func (v *Vector) Zeros() int { return v.n - v.ones }
+
+// Get reports the bit at position i (0-based).
+func (v *Vector) Get(i int) bool {
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Rank1 returns the number of 1-bits in positions [0, i), i.e. strictly
+// before position i. Rank1(Len()) equals Ones().
+func (v *Vector) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	sb := i / superBits
+	r := v.super[sb]
+	w := sb * wordsPer
+	for ; (w+1)*wordBits <= i; w++ {
+		r += uint64(bits.OnesCount64(v.words[w]))
+	}
+	if rem := i - w*wordBits; rem > 0 {
+		r += uint64(bits.OnesCount64(v.words[w] & (1<<uint(rem) - 1)))
+	}
+	return int(r)
+}
+
+// Rank0 returns the number of 0-bits strictly before position i.
+func (v *Vector) Rank0(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	return i - v.Rank1(i)
+}
+
+// Select1 returns the position of the k-th 1-bit (1-based): the smallest p
+// with Rank1(p+1) == k. It returns -1 if there are fewer than k ones.
+func (v *Vector) Select1(k int) int {
+	if k <= 0 || k > v.ones {
+		return -1
+	}
+	// Binary search over superblocks.
+	lo, hi := 0, len(v.super)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if v.super[mid] < uint64(k) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := k - int(v.super[lo])
+	w := lo * wordsPer
+	for ; w < len(v.words); w++ {
+		c := bits.OnesCount64(v.words[w])
+		if c >= rem {
+			break
+		}
+		rem -= c
+	}
+	return w*wordBits + selectInWord(v.words[w], rem)
+}
+
+// Select0 returns the position of the k-th 0-bit (1-based), or -1.
+func (v *Vector) Select0(k int) int {
+	if k <= 0 || k > v.n-v.ones {
+		return -1
+	}
+	lo, hi := 0, v.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.Rank0(mid+1) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// selectInWord returns the position (0-63) of the k-th set bit (1-based) in w.
+func selectInWord(w uint64, k int) int {
+	for i := 1; i < k; i++ {
+		w &= w - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// String renders short vectors as 0/1 strings for debugging.
+func (v *Vector) String() string {
+	if v.n > 256 {
+		return fmt.Sprintf("bitvec.Vector(len=%d, ones=%d)", v.n, v.ones)
+	}
+	buf := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,235 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveRank1(bits []bool, i int) int {
+	if i > len(bits) {
+		i = len(bits)
+	}
+	r := 0
+	for j := 0; j < i; j++ {
+		if bits[j] {
+			r++
+		}
+	}
+	return r
+}
+
+func naiveSelect1(bits []bool, k int) int {
+	for i, b := range bits {
+		if b {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func naiveSelect0(bits []bool, k int) int {
+	for i, b := range bits {
+		if !b {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestEmpty(t *testing.T) {
+	v := FromBools(nil)
+	if v.Len() != 0 || v.Ones() != 0 || v.Zeros() != 0 {
+		t.Fatalf("empty vector: len=%d ones=%d zeros=%d", v.Len(), v.Ones(), v.Zeros())
+	}
+	if got := v.Rank1(0); got != 0 {
+		t.Errorf("Rank1(0) = %d, want 0", got)
+	}
+	if got := v.Select1(1); got != -1 {
+		t.Errorf("Select1(1) = %d, want -1", got)
+	}
+	if got := v.Select0(1); got != -1 {
+		t.Errorf("Select0(1) = %d, want -1", got)
+	}
+}
+
+func TestSingleBits(t *testing.T) {
+	v1 := FromBools([]bool{true})
+	if v1.Rank1(1) != 1 || v1.Select1(1) != 0 || !v1.Get(0) {
+		t.Errorf("single 1-bit vector misbehaves")
+	}
+	v0 := FromBools([]bool{false})
+	if v0.Rank1(1) != 0 || v0.Select0(1) != 0 || v0.Get(0) {
+		t.Errorf("single 0-bit vector misbehaves")
+	}
+}
+
+func TestAllOnes(t *testing.T) {
+	const n = 1000
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = true
+	}
+	v := FromBools(bits)
+	if v.Ones() != n {
+		t.Fatalf("Ones() = %d, want %d", v.Ones(), n)
+	}
+	for k := 1; k <= n; k++ {
+		if got := v.Select1(k); got != k-1 {
+			t.Fatalf("Select1(%d) = %d, want %d", k, got, k-1)
+		}
+	}
+	if v.Select0(1) != -1 {
+		t.Errorf("Select0 on all-ones should be -1")
+	}
+}
+
+func TestAllZeros(t *testing.T) {
+	const n = 777
+	v := FromBools(make([]bool, n))
+	if v.Ones() != 0 || v.Zeros() != n {
+		t.Fatalf("ones=%d zeros=%d", v.Ones(), v.Zeros())
+	}
+	for k := 1; k <= n; k += 97 {
+		if got := v.Select0(k); got != k-1 {
+			t.Fatalf("Select0(%d) = %d, want %d", k, got, k-1)
+		}
+	}
+}
+
+func TestRankSelectRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(3000)
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = rng.Intn(3) != 0
+		}
+		v := FromBools(bits)
+		for i := 0; i <= n; i++ {
+			if got, want := v.Rank1(i), naiveRank1(bits, i); got != want {
+				t.Fatalf("n=%d Rank1(%d) = %d, want %d", n, i, got, want)
+			}
+		}
+		for k := 1; k <= v.Ones(); k++ {
+			if got, want := v.Select1(k), naiveSelect1(bits, k); got != want {
+				t.Fatalf("n=%d Select1(%d) = %d, want %d", n, k, got, want)
+			}
+		}
+		for k := 1; k <= v.Zeros(); k += 1 + rng.Intn(5) {
+			if got, want := v.Select0(k), naiveSelect0(bits, k); got != want {
+				t.Fatalf("n=%d Select0(%d) = %d, want %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRankBeyondLen(t *testing.T) {
+	v := FromBools([]bool{true, false, true})
+	if got := v.Rank1(100); got != 2 {
+		t.Errorf("Rank1 past end = %d, want 2", got)
+	}
+	if got := v.Rank0(100); got != 1 {
+		t.Errorf("Rank0 past end = %d, want 1", got)
+	}
+}
+
+// Property: Rank1(Select1(k)) == k-1 and Get(Select1(k)) == true.
+func TestSelectRankInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(2000)
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 0
+		}
+		v := FromBools(bits)
+		for k := 1; k <= v.Ones(); k++ {
+			p := v.Select1(k)
+			if p < 0 || !v.Get(p) || v.Rank1(p) != k-1 || v.Rank1(p+1) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rank1(i) + Rank0(i) == i for all i in range.
+func TestRankComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(1500)
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 0
+		}
+		v := FromBools(bits)
+		for i := 0; i <= n; i += 1 + rng.Intn(7) {
+			if v.Rank1(i)+v.Rank0(i) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderAppendN(t *testing.T) {
+	b := NewBuilder(10)
+	b.AppendN(true, 5)
+	b.AppendN(false, 3)
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", b.Len())
+	}
+	v := b.Build()
+	if v.Ones() != 5 || v.Zeros() != 3 {
+		t.Errorf("ones=%d zeros=%d, want 5,3", v.Ones(), v.Zeros())
+	}
+}
+
+func TestStringSmall(t *testing.T) {
+	v := FromBools([]bool{true, false, true, true})
+	if got := v.String(); got != "1011" {
+		t.Errorf("String() = %q, want 1011", got)
+	}
+}
+
+func BenchmarkRank1(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	bld := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		bld.Append(rng.Intn(2) == 0)
+	}
+	v := bld.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Rank1(i % n)
+	}
+}
+
+func BenchmarkSelect1(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	bld := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		bld.Append(rng.Intn(2) == 0)
+	}
+	v := bld.Build()
+	ones := v.Ones()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Select1(1 + i%ones)
+	}
+}

@@ -1,0 +1,426 @@
+// Package bp implements a balanced-parentheses succinct ordinal tree in the
+// style of Sadakane & Navarro ("Fully-functional static and dynamic succinct
+// trees", reference [18] of the paper). A tree with n nodes is stored as a
+// 2n-bit parenthesis sequence plus o(n)-style block summaries giving
+// FindClose/FindOpen/Enclose in O(log n). Nodes are identified by their
+// preorder rank (0-based), so the structure composes directly with the
+// preorder-indexed label arrays of internal/tree and internal/index.
+package bp
+
+import (
+	"repro/internal/bitvec"
+)
+
+// blockBits is the span of one min-excess block. Queries scan at most one
+// block at each end plus O(log(n/blockBits)) summary nodes.
+const blockBits = 256
+
+// Tree is an immutable balanced-parentheses tree.
+type Tree struct {
+	paren *bitvec.Vector // 1 = '(' open, 0 = ')' close
+	// Min-excess segment tree over blocks, 1-indexed heap layout.
+	// blockMin[i] is the minimum prefix excess within the range, relative
+	// to the excess at the start of the range; blockSum[i] is the total
+	// excess delta of the range.
+	blockMin  []int32
+	blockSum  []int32
+	numBlocks int
+	leafBase  int
+	n         int // number of nodes
+}
+
+// Builder accumulates a parenthesis sequence.
+type Builder struct {
+	bits  *bitvec.Builder
+	depth int
+	n     int
+}
+
+// NewBuilder returns a builder with capacity hints for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{bits: bitvec.NewBuilder(2 * n)}
+}
+
+// Open appends an opening parenthesis (entering a new node in preorder).
+func (b *Builder) Open() {
+	b.bits.Append(true)
+	b.depth++
+	b.n++
+}
+
+// Close appends a closing parenthesis (leaving the current node).
+func (b *Builder) Close() {
+	b.bits.Append(false)
+	b.depth--
+}
+
+// Depth reports the current nesting depth (open minus close so far).
+func (b *Builder) Depth() int { return b.depth }
+
+// Nodes reports the number of nodes opened so far.
+func (b *Builder) Nodes() int { return b.n }
+
+// Build finalizes the sequence. It panics if the parentheses are not
+// balanced, since every caller constructs the sequence programmatically.
+func (b *Builder) Build() *Tree {
+	if b.depth != 0 {
+		panic("bp: unbalanced parenthesis sequence")
+	}
+	t := &Tree{paren: b.bits.Build(), n: b.n}
+	t.buildBlocks()
+	return t
+}
+
+// FromBools builds a tree from an explicit parenthesis bit sequence
+// (true = open). Used by tests.
+func FromBools(seq []bool) *Tree {
+	b := NewBuilder(len(seq) / 2)
+	for _, open := range seq {
+		if open {
+			b.Open()
+		} else {
+			b.Close()
+		}
+	}
+	return b.Build()
+}
+
+func (t *Tree) buildBlocks() {
+	m := t.paren.Len()
+	t.numBlocks = (m + blockBits - 1) / blockBits
+	if t.numBlocks == 0 {
+		t.numBlocks = 1
+	}
+	// Round up to a power of two for a simple heap-shaped segment tree.
+	size := 1
+	for size < t.numBlocks {
+		size *= 2
+	}
+	t.leafBase = size
+	t.blockMin = make([]int32, 2*size)
+	t.blockSum = make([]int32, 2*size)
+	for i := range t.blockMin {
+		t.blockMin[i] = 1 << 30
+	}
+	for blk := 0; blk < t.numBlocks; blk++ {
+		minEx, sum := int32(1<<30), int32(0)
+		start, end := blk*blockBits, (blk+1)*blockBits
+		if end > m {
+			end = m
+		}
+		for i := start; i < end; i++ {
+			if t.paren.Get(i) {
+				sum++
+			} else {
+				sum--
+			}
+			if sum < minEx {
+				minEx = sum
+			}
+		}
+		if start >= end {
+			minEx, sum = 0, 0
+		}
+		t.blockMin[t.leafBase+blk] = minEx
+		t.blockSum[t.leafBase+blk] = sum
+	}
+	for i := t.leafBase - 1; i >= 1; i-- {
+		l, r := 2*i, 2*i+1
+		lm, ls := t.blockMin[l], t.blockSum[l]
+		rm := t.blockMin[r]
+		if rm == 1<<30 { // right child empty
+			t.blockMin[i] = lm
+			t.blockSum[i] = ls
+			continue
+		}
+		min := lm
+		if ls+rm < min {
+			min = ls + rm
+		}
+		t.blockMin[i] = min
+		t.blockSum[i] = ls + t.blockSum[r]
+	}
+}
+
+// NumNodes reports the number of tree nodes.
+func (t *Tree) NumNodes() int { return t.n }
+
+// Excess returns the nesting depth after reading positions [0, i], i.e.
+// opens minus closes in the prefix of length i+1.
+func (t *Tree) Excess(i int) int {
+	return 2*t.paren.Rank1(i+1) - (i + 1)
+}
+
+// fwdSearch finds the smallest j > i such that Excess(j) == target,
+// or -1 if none exists.
+func (t *Tree) fwdSearch(i int, target int) int {
+	m := t.paren.Len()
+	ex := t.Excess(i)
+	// Scan the rest of i's block.
+	blk := (i + 1) / blockBits
+	end := (blk + 1) * blockBits
+	if end > m {
+		end = m
+	}
+	for j := i + 1; j < end; j++ {
+		if t.paren.Get(j) {
+			ex++
+		} else {
+			ex--
+		}
+		if ex == target {
+			return j
+		}
+	}
+	if end == m {
+		return -1
+	}
+	// Climb the segment tree to find the first block whose min excess
+	// reaches target, tracking the running excess at block boundaries.
+	node := t.leafBase + blk
+	for {
+		// Move to the next subtree to the right.
+		for node%2 == 1 { // right child: go up
+			node /= 2
+			if node == 0 {
+				return -1
+			}
+		}
+		node++ // right sibling
+		if node >= len(t.blockMin) || t.blockMin[node] == 1<<30 {
+			// Empty subtree; keep climbing.
+			node--
+			node /= 2
+			if node == 0 {
+				return -1
+			}
+			continue
+		}
+		if ex+int(t.blockMin[node]) <= target {
+			break // target is inside this subtree
+		}
+		ex += int(t.blockSum[node])
+		node /= 2
+		if node == 0 {
+			return -1
+		}
+	}
+	// Descend to the leaf block containing the answer.
+	for node < t.leafBase {
+		l := 2 * node
+		if t.blockMin[l] != 1<<30 && ex+int(t.blockMin[l]) <= target {
+			node = l
+		} else {
+			ex += int(t.blockSum[l])
+			node = l + 1
+		}
+	}
+	blk = node - t.leafBase
+	start := blk * blockBits
+	stop := start + blockBits
+	if stop > m {
+		stop = m
+	}
+	for j := start; j < stop; j++ {
+		if t.paren.Get(j) {
+			ex++
+		} else {
+			ex--
+		}
+		if ex == target {
+			return j
+		}
+	}
+	return -1
+}
+
+// bwdSearch finds the largest j < i such that Excess(j) == target, or -1 if
+// none exists. It requires the "enclosing" precondition that holds for
+// FindOpen and Enclose: every position strictly between the answer and i
+// has excess > target. Under that precondition the answer lies in the
+// nearest block to the left whose absolute minimum excess is <= target.
+func (t *Tree) bwdSearch(i int, target int) int {
+	ex := t.Excess(i)
+	blk := i / blockBits
+	start := blk * blockBits
+	for j := i; j >= start; j-- {
+		if t.paren.Get(j) {
+			ex--
+		} else {
+			ex++
+		}
+		// ex is now Excess(j-1).
+		if ex == target {
+			return j - 1
+		}
+		if j == 0 {
+			return -1
+		}
+	}
+	// ex is the excess just before the block. Climb the segment tree
+	// leftward looking for a subtree whose absolute minimum reaches
+	// target; ex tracks the excess at the end of the candidate range.
+	node := t.leafBase + blk
+	for {
+		for node%2 == 0 { // left child: go up
+			node /= 2
+			if node <= 1 {
+				return -1
+			}
+		}
+		if node <= 1 {
+			return -1
+		}
+		node-- // left sibling
+		exStart := ex - int(t.blockSum[node])
+		if t.blockMin[node] != 1<<30 && exStart+int(t.blockMin[node]) <= target {
+			break // answer is inside this subtree
+		}
+		ex = exStart
+		node /= 2
+		if node <= 1 {
+			return -1
+		}
+	}
+	// Descend, preferring the right child (we want the largest j).
+	for node < t.leafBase {
+		r := 2*node + 1
+		if t.blockMin[r] != 1<<30 && ex-int(t.blockSum[r])+int(t.blockMin[r]) <= target {
+			node = r
+		} else {
+			if t.blockMin[r] != 1<<30 {
+				ex -= int(t.blockSum[r])
+			}
+			node = 2 * node
+		}
+	}
+	blk = node - t.leafBase
+	start = blk * blockBits
+	stop := start + blockBits
+	if stop > t.paren.Len() {
+		stop = t.paren.Len()
+	}
+	// ex is Excess(stop-1); scan backward for the hit.
+	for j := stop - 1; j >= start; j-- {
+		if ex == target {
+			return j
+		}
+		if t.paren.Get(j) {
+			ex--
+		} else {
+			ex++
+		}
+	}
+	return -1
+}
+
+// FindClose returns the position of the closing parenthesis matching the
+// open parenthesis at position i.
+func (t *Tree) FindClose(i int) int {
+	return t.fwdSearch(i, t.Excess(i)-1)
+}
+
+// FindOpen returns the position of the open parenthesis matching the
+// closing parenthesis at position i.
+func (t *Tree) FindOpen(i int) int {
+	// The open paren is the last position j < i with Excess(j-1) ==
+	// Excess(i); equivalently Excess(j) == Excess(i)+1 and paren[j] is
+	// open. bwdSearch for excess(i) then +1.
+	j := t.bwdSearch(i, t.Excess(i))
+	return j + 1
+}
+
+// Enclose returns the position of the open parenthesis of the parent of the
+// node whose open parenthesis is at i, or -1 for the root.
+func (t *Tree) Enclose(i int) int {
+	if i == 0 {
+		return -1
+	}
+	j := t.bwdSearch(i, t.Excess(i)-2)
+	return j + 1
+}
+
+// --- Node-level navigation. Nodes are 0-based preorder ranks. ---
+
+// pos returns the position of node v's open parenthesis.
+func (t *Tree) pos(v int) int { return t.paren.Select1(v + 1) }
+
+// node returns the preorder rank of the node whose open paren is at p.
+func (t *Tree) node(p int) int { return t.paren.Rank1(p+1) - 1 }
+
+// Parent returns the preorder rank of v's parent, or -1 for the root.
+func (t *Tree) Parent(v int) int {
+	p := t.Enclose(t.pos(v))
+	if p < 0 {
+		return -1
+	}
+	return t.node(p)
+}
+
+// FirstChild returns the preorder rank of v's first child, or -1 if v is a
+// leaf.
+func (t *Tree) FirstChild(v int) int {
+	p := t.pos(v)
+	if p+1 < t.paren.Len() && t.paren.Get(p+1) {
+		return v + 1
+	}
+	return -1
+}
+
+// NextSibling returns the preorder rank of v's next sibling, or -1.
+func (t *Tree) NextSibling(v int) int {
+	c := t.FindClose(t.pos(v))
+	if c+1 < t.paren.Len() && t.paren.Get(c+1) {
+		return t.node(c + 1)
+	}
+	return -1
+}
+
+// IsLeaf reports whether v has no children.
+func (t *Tree) IsLeaf(v int) bool { return t.FirstChild(v) == -1 }
+
+// SubtreeSize returns the number of nodes in the subtree rooted at v.
+func (t *Tree) SubtreeSize(v int) int {
+	p := t.pos(v)
+	c := t.FindClose(p)
+	return (c - p + 1) / 2
+}
+
+// LastDescendant returns the preorder rank of the last node (in preorder)
+// in v's subtree; equals v itself for leaves.
+func (t *Tree) LastDescendant(v int) int {
+	return v + t.SubtreeSize(v) - 1
+}
+
+// Depth returns the depth of v (root has depth 0).
+func (t *Tree) Depth(v int) int {
+	return t.Excess(t.pos(v)) - 1
+}
+
+// IsAncestor reports whether a is a (proper or improper) ancestor of v.
+func (t *Tree) IsAncestor(a, v int) bool {
+	return a <= v && v <= t.LastDescendant(a)
+}
+
+// LevelAncestor returns the ancestor of v at depth d, or -1 if d exceeds
+// the depth of v. LevelAncestor(v, Depth(v)) == v.
+func (t *Tree) LevelAncestor(v, d int) int {
+	for v != -1 && t.Depth(v) > d {
+		v = t.Parent(v)
+	}
+	if v == -1 || t.Depth(v) != d {
+		return -1
+	}
+	return v
+}
+
+// LCA returns the lowest common ancestor of u and v.
+func (t *Tree) LCA(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	for !t.IsAncestor(u, v) {
+		u = t.Parent(u)
+	}
+	return u
+}

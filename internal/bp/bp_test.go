@@ -1,0 +1,325 @@
+package bp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refTree is a naive pointer-based tree built from the same parenthesis
+// sequence, used as the oracle for all navigation operations.
+type refTree struct {
+	parent      []int
+	firstChild  []int
+	nextSibling []int
+	depth       []int
+	subSize     []int
+	openPos     []int
+	closePos    []int
+}
+
+func buildRef(seq []bool) *refTree {
+	n := 0
+	for _, b := range seq {
+		if b {
+			n++
+		}
+	}
+	r := &refTree{
+		parent:      make([]int, n),
+		firstChild:  make([]int, n),
+		nextSibling: make([]int, n),
+		depth:       make([]int, n),
+		subSize:     make([]int, n),
+		openPos:     make([]int, n),
+		closePos:    make([]int, n),
+	}
+	for i := range r.firstChild {
+		r.firstChild[i] = -1
+		r.nextSibling[i] = -1
+		r.parent[i] = -1
+	}
+	var stack []int
+	next := 0
+	lastClosed := -1
+	for p, open := range seq {
+		if open {
+			v := next
+			next++
+			r.openPos[v] = p
+			if len(stack) > 0 {
+				par := stack[len(stack)-1]
+				r.parent[v] = par
+				if r.firstChild[par] == -1 {
+					r.firstChild[par] = v
+				} else if lastClosed != -1 {
+					r.nextSibling[lastClosed] = v
+				}
+			} else if lastClosed != -1 {
+				r.nextSibling[lastClosed] = v
+			}
+			r.depth[v] = len(stack)
+			stack = append(stack, v)
+			lastClosed = -1
+		} else {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			r.closePos[v] = p
+			r.subSize[v] = next - v
+			lastClosed = v
+		}
+	}
+	return r
+}
+
+// randomSeq produces a random balanced parenthesis sequence with n nodes
+// forming a single tree (one root).
+func randomSeq(rng *rand.Rand, n int) []bool {
+	seq := make([]bool, 0, 2*n)
+	seq = append(seq, true) // root open
+	opened, closed := 1, 0
+	depth := 1
+	for opened < n || depth > 1 {
+		canOpen := opened < n
+		canClose := depth > 1
+		if canOpen && (!canClose || rng.Intn(2) == 0) {
+			seq = append(seq, true)
+			opened++
+			depth++
+		} else {
+			seq = append(seq, false)
+			closed++
+			depth--
+		}
+	}
+	seq = append(seq, false) // root close
+	_ = closed
+	return seq
+}
+
+func checkAgainstRef(t *testing.T, seq []bool) {
+	t.Helper()
+	bt := FromBools(seq)
+	ref := buildRef(seq)
+	n := bt.NumNodes()
+	if n != len(ref.parent) {
+		t.Fatalf("NumNodes = %d, want %d", n, len(ref.parent))
+	}
+	for v := 0; v < n; v++ {
+		if got := bt.Parent(v); got != ref.parent[v] {
+			t.Fatalf("Parent(%d) = %d, want %d", v, got, ref.parent[v])
+		}
+		if got := bt.FirstChild(v); got != ref.firstChild[v] {
+			t.Fatalf("FirstChild(%d) = %d, want %d", v, got, ref.firstChild[v])
+		}
+		if got := bt.NextSibling(v); got != ref.nextSibling[v] {
+			t.Fatalf("NextSibling(%d) = %d, want %d", v, got, ref.nextSibling[v])
+		}
+		if got := bt.Depth(v); got != ref.depth[v] {
+			t.Fatalf("Depth(%d) = %d, want %d", v, got, ref.depth[v])
+		}
+		if got := bt.SubtreeSize(v); got != ref.subSize[v] {
+			t.Fatalf("SubtreeSize(%d) = %d, want %d", v, got, ref.subSize[v])
+		}
+		if got := bt.FindClose(ref.openPos[v]); got != ref.closePos[v] {
+			t.Fatalf("FindClose(%d) = %d, want %d", ref.openPos[v], got, ref.closePos[v])
+		}
+		if got := bt.FindOpen(ref.closePos[v]); got != ref.openPos[v] {
+			t.Fatalf("FindOpen(%d) = %d, want %d", ref.closePos[v], got, ref.openPos[v])
+		}
+		if got, want := bt.IsLeaf(v), ref.firstChild[v] == -1; got != want {
+			t.Fatalf("IsLeaf(%d) = %v, want %v", v, got, want)
+		}
+		if got, want := bt.LastDescendant(v), v+ref.subSize[v]-1; got != want {
+			t.Fatalf("LastDescendant(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	checkAgainstRef(t, []bool{true, false})
+}
+
+func TestPathTree(t *testing.T) {
+	// Deep chain: ((((...))))
+	const n = 2000
+	seq := make([]bool, 0, 2*n)
+	for i := 0; i < n; i++ {
+		seq = append(seq, true)
+	}
+	for i := 0; i < n; i++ {
+		seq = append(seq, false)
+	}
+	checkAgainstRef(t, seq)
+}
+
+func TestStarTree(t *testing.T) {
+	// Root with many leaf children: (()()()...())
+	const n = 2000
+	seq := []bool{true}
+	for i := 0; i < n; i++ {
+		seq = append(seq, true, false)
+	}
+	seq = append(seq, false)
+	checkAgainstRef(t, seq)
+}
+
+func TestRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(1200)
+		checkAgainstRef(t, randomSeq(rng, n))
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := randomSeq(rng, 300)
+	bt := FromBools(seq)
+	ref := buildRef(seq)
+	isAnc := func(a, v int) bool {
+		for v != -1 {
+			if v == a {
+				return true
+			}
+			v = ref.parent[v]
+		}
+		return false
+	}
+	for i := 0; i < 2000; i++ {
+		a, v := rng.Intn(bt.NumNodes()), rng.Intn(bt.NumNodes())
+		if got, want := bt.IsAncestor(a, v), isAnc(a, v); got != want {
+			t.Fatalf("IsAncestor(%d,%d) = %v, want %v", a, v, got, want)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq := randomSeq(rng, 300)
+	bt := FromBools(seq)
+	ref := buildRef(seq)
+	ancestors := func(v int) []int {
+		var as []int
+		for v != -1 {
+			as = append(as, v)
+			v = ref.parent[v]
+		}
+		return as
+	}
+	naiveLCA := func(u, v int) int {
+		au := ancestors(u)
+		set := make(map[int]bool, len(au))
+		for _, a := range au {
+			set[a] = true
+		}
+		for _, a := range ancestors(v) {
+			if set[a] {
+				return a
+			}
+		}
+		return -1
+	}
+	for i := 0; i < 1000; i++ {
+		u, v := rng.Intn(bt.NumNodes()), rng.Intn(bt.NumNodes())
+		if got, want := bt.LCA(u, v), naiveLCA(u, v); got != want {
+			t.Fatalf("LCA(%d,%d) = %d, want %d", u, v, got, want)
+		}
+	}
+}
+
+func TestLevelAncestor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seq := randomSeq(rng, 200)
+	bt := FromBools(seq)
+	ref := buildRef(seq)
+	for v := 0; v < bt.NumNodes(); v++ {
+		for d := 0; d <= ref.depth[v]; d++ {
+			got := bt.LevelAncestor(v, d)
+			// Walk up from v to depth d in the reference.
+			w := v
+			for ref.depth[w] > d {
+				w = ref.parent[w]
+			}
+			if got != w {
+				t.Fatalf("LevelAncestor(%d,%d) = %d, want %d", v, d, got, w)
+			}
+		}
+		if got := bt.LevelAncestor(v, ref.depth[v]+1); got != -1 {
+			t.Fatalf("LevelAncestor below node = %d, want -1", got)
+		}
+	}
+}
+
+// Property: preorder identity — node v's open paren is the (v+1)-th '(',
+// and FindClose is monotone with subtree nesting.
+func TestNestingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		seq := randomSeq(rng, n)
+		bt := FromBools(seq)
+		ref := buildRef(seq)
+		for v := 0; v < n; v++ {
+			p := ref.parent[v]
+			if p == -1 {
+				continue
+			}
+			// Child interval strictly nested in parent interval.
+			if !(ref.openPos[p] < ref.openPos[v] && ref.closePos[v] < ref.closePos[p]) {
+				return false
+			}
+			if !bt.IsAncestor(p, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExcess(t *testing.T) {
+	seq := []bool{true, true, false, true, true, false, false, false}
+	bt := FromBools(seq)
+	want := []int{1, 2, 1, 2, 3, 2, 1, 0}
+	for i, w := range want {
+		if got := bt.Excess(i); got != w {
+			t.Errorf("Excess(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestBuilderPanicsOnUnbalanced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build on unbalanced sequence did not panic")
+		}
+	}()
+	b := NewBuilder(1)
+	b.Open()
+	b.Build()
+}
+
+func BenchmarkParent(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	seq := randomSeq(rng, 200000)
+	bt := FromBools(seq)
+	n := bt.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bt.Parent(1 + i%(n-1))
+	}
+}
+
+func BenchmarkFindClose(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	seq := randomSeq(rng, 200000)
+	bt := FromBools(seq)
+	n := bt.NumNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bt.SubtreeSize(i % n)
+	}
+}

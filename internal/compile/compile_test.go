@@ -1,0 +1,155 @@
+package compile_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compile"
+	"repro/internal/index"
+	"repro/internal/stepwise"
+	"repro/internal/tgen"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+func sameNodes(a, b []tree.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TDSTA-eligible queries: child steps then descendant steps, name/* tests.
+var tdstaBattery = []string{
+	"/a",
+	"/a/b",
+	"/a/b/c",
+	"//a",
+	"//a//b",
+	"//a//b//c",
+	"/a//b",
+	"/a/b//c",
+	"/a//b//c",
+	"/*",
+	"/a/*//b",
+	"//*",
+}
+
+// TestTDSTAAgainstStepwise: the deterministic compilation selects the
+// same nodes as the oracle, via the full run, and via topdown_jump on the
+// minimized automaton (Theorem 3.1 end to end).
+func TestTDSTAAgainstStepwise(t *testing.T) {
+	paths := make([]*xpath.Path, len(tdstaBattery))
+	for i, q := range tdstaBattery {
+		paths[i] = xpath.MustParse(q)
+	}
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{
+			Labels:   []string{"a", "b", "c"},
+			MaxNodes: 150,
+		})
+		ix := index.New(d)
+		for qi, p := range paths {
+			want := stepwise.Eval(d, p, stepwise.Default()).Selected
+			aut, err := compile.ToTDSTA(p, d.Names())
+			if err != nil {
+				t.Logf("compile %q: %v", tdstaBattery[qi], err)
+				return false
+			}
+			if !aut.IsTopDownDeterministic() || !aut.IsTopDownComplete() {
+				t.Logf("%q: not deterministic/complete", tdstaBattery[qi])
+				return false
+			}
+			full := aut.EvalTopDownDet(d)
+			if !sameNodes(full.Selected, want) {
+				t.Logf("seed=%d %q full: got %v want %v", seed, tdstaBattery[qi], full.Selected, want)
+				return false
+			}
+			min := aut.MinimizeTopDown()
+			jump := min.EvalTopDownJump(d, ix)
+			if !sameNodes(jump.Selected, want) {
+				t.Logf("seed=%d %q jump: got %v want %v", seed, tdstaBattery[qi], jump.Selected, want)
+				return false
+			}
+			if jump.Visited > full.Visited {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTDSTARejectsOutsideFragment(t *testing.T) {
+	lt := tree.NewLabelTable()
+	for _, q := range []string{
+		"//a/b",                    // child after descendant
+		"//a[b]",                   // predicate
+		"//a/text()",               // text test
+		"/a/@x",                    // attribute axis
+		"//a/following-sibling::b", // unsupported axis
+	} {
+		if _, err := compile.ToTDSTA(xpath.MustParse(q), lt); err == nil {
+			t.Errorf("ToTDSTA(%q) should fail", q)
+		}
+	}
+}
+
+func TestTDSTAJumpSkipsIrrelevant(t *testing.T) {
+	// /site//keyword on a document where keywords cluster in one region.
+	b := tree.NewBuilder()
+	b.Open("site")
+	for i := 0; i < 500; i++ {
+		b.Open("filler")
+		b.Close()
+	}
+	b.Open("region")
+	for i := 0; i < 5; i++ {
+		b.Open("keyword")
+		b.Close()
+	}
+	b.Close()
+	b.Close()
+	d := b.MustFinish()
+	ix := index.New(d)
+	aut := compile.MustToTDSTA(xpath.MustParse("/site//keyword"), d.Names()).MinimizeTopDown()
+	res := aut.EvalTopDownJump(d, ix)
+	if len(res.Selected) != 5 {
+		t.Fatalf("selected %d", len(res.Selected))
+	}
+	if res.Visited > 12 {
+		t.Errorf("visited %d nodes of %d; jumping ineffective", res.Visited, d.NumNodes())
+	}
+}
+
+func TestCompileStarGuards(t *testing.T) {
+	d, _ := tgen.Random(1, tgen.Config{}), 0
+	_ = d
+	lt := tree.NewLabelTable()
+	lt.Intern("a")
+	lt.Intern("@href")
+	aut, err := compile.Compile("//*", lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aut.NumStates != 2 {
+		t.Errorf("states = %d", aut.NumStates)
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	lt := tree.NewLabelTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustToTDSTA should panic on bad input")
+		}
+	}()
+	compile.MustToTDSTA(xpath.MustParse("//a[b]"), lt)
+}

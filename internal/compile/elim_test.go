@@ -1,0 +1,154 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compile"
+	"repro/internal/stepwise"
+	"repro/internal/tgen"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+// Negation-free queries for the alternation-elimination battery.
+var elimBattery = []string{
+	"/a",
+	"//a",
+	"//a//b",
+	"//a/b",
+	"//a[b]",
+	"//a[.//b]",
+	"//a[b and c]",
+	"//a[b or c]",
+	"//a//b[c]",
+	"//a[.//b and .//c]//d",
+	"//a[b and (c or d)]",
+	"//a[.//b]//b",
+}
+
+// TestEliminateAgainstStepwise: the alternation-free automaton produced
+// by Eliminate selects exactly the oracle's nodes, evaluated with the
+// reference STA semantics — tying ASTA and STA semantics together.
+func TestEliminateAgainstStepwise(t *testing.T) {
+	paths := make([]*xpath.Path, len(elimBattery))
+	for i, q := range elimBattery {
+		paths[i] = xpath.MustParse(q)
+	}
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{
+			Labels:   []string{"a", "b", "c", "d"},
+			MaxNodes: 60,
+		})
+		for qi, p := range paths {
+			want := stepwise.Eval(d, p, stepwise.Default()).Selected
+			aut, err := compile.ToASTA(p, d.Names())
+			if err != nil {
+				return false
+			}
+			nsta, err := compile.Eliminate(aut, 4096)
+			if err != nil {
+				t.Logf("%q: %v", elimBattery[qi], err)
+				return false
+			}
+			res := nsta.Eval(d)
+			if len(res.Selected) != len(want) {
+				t.Logf("seed=%d %q: got %v want %v", seed, elimBattery[qi], res.Selected, want)
+				return false
+			}
+			for i := range want {
+				if res.Selected[i] != want[i] {
+					t.Logf("seed=%d %q: got %v want %v", seed, elimBattery[qi], res.Selected, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEliminateBlowup reproduces Example C.1 concretely: the number of
+// transitions of the alternation-free automaton grows with the DNF (2^n
+// conjunct combinations) while the ASTA stays linear.
+func TestEliminateBlowup(t *testing.T) {
+	build := func(n int) (string, *tree.LabelTable) {
+		names := tree.NewLabelTable()
+		names.Intern("x")
+		var sb strings.Builder
+		sb.WriteString("//x[ ")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(" and ")
+			}
+			a := names.Name(names.Intern(letter(2 * i)))
+			b := names.Name(names.Intern(letter(2*i + 1)))
+			sb.WriteString("(" + a + " or " + b + ")")
+		}
+		sb.WriteString(" ]")
+		return sb.String(), names
+	}
+	var prev int
+	for _, n := range []int{1, 2, 3, 4} {
+		q, names := build(n)
+		aut, err := compile.Compile(q, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nsta, err := compile.Eliminate(aut, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The selecting x-transition multiplies 2^n choices; count the
+		// transitions guarded by {x}.
+		xID, _ := names.Lookup("x")
+		xTrans := 0
+		for _, tr := range nsta.Trans {
+			if tr.Guard.Contains(xID) && tr.Selecting {
+				xTrans++
+			}
+		}
+		if xTrans < 1<<n {
+			t.Errorf("n=%d: selecting x-transitions = %d, want >= 2^n = %d", n, xTrans, 1<<n)
+		}
+		prev = xTrans
+		_ = prev
+		if aut.Size() > 40*n {
+			t.Errorf("n=%d: ASTA size %d not linear", n, aut.Size())
+		}
+	}
+}
+
+func letter(i int) string {
+	return string(rune('a'+i%20)) + "p"
+}
+
+func TestEliminateRejectsNegation(t *testing.T) {
+	lt := tree.NewLabelTable()
+	lt.Intern("a")
+	lt.Intern("b")
+	aut, err := compile.Compile("//a[not(b)]", lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Eliminate(aut, 1024); err == nil {
+		t.Error("Eliminate should reject negation")
+	}
+}
+
+func TestEliminateStateBound(t *testing.T) {
+	lt := tree.NewLabelTable()
+	for _, s := range []string{"a", "b", "c", "d", "e", "f"} {
+		lt.Intern(s)
+	}
+	aut, err := compile.Compile("//a[.//b and .//c and .//d and .//e]//f", lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Eliminate(aut, 3); err == nil {
+		t.Error("tiny state bound should trip")
+	}
+}

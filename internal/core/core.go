@@ -1,0 +1,240 @@
+// Package core is the whole-query optimizer: the paper's primary
+// contribution assembled into an engine. Given a document it builds the
+// jumping index once; given a query it chooses an execution strategy —
+//
+//   - the minimized deterministic TDSTA with topdown_jump (§3.1) for the
+//     restricted child/descendant fragment,
+//   - the hybrid start-anywhere run (§4.4) for label chains where some
+//     label's global count is very low (the index answers counts in
+//     O(1), §5),
+//   - the alternating-automaton evaluator with jumping + memoization +
+//     information propagation (§4, "Opt. Eval.") for everything else —
+//
+// and executes it, reporting which strategy ran and how many nodes it
+// touched. Explicit strategies are available for experiments and
+// ablations.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asta"
+	"repro/internal/compile"
+	"repro/internal/hybrid"
+	"repro/internal/index"
+	"repro/internal/stepwise"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+// Strategy selects how a query is executed.
+type Strategy int
+
+// Strategies. Auto picks per query; the rest force one engine (the
+// series of Figure 4 plus the baselines).
+const (
+	Auto Strategy = iota
+	// Naive is Algorithm 4.1 with no optimization.
+	Naive
+	// Jumping adds the on-the-fly top-down approximation of relevant
+	// nodes with index jumps.
+	Jumping
+	// Memoized adds the transition memo tables instead.
+	Memoized
+	// Optimized combines jumping, memoization and information
+	// propagation ("Opt. Eval.").
+	Optimized
+	// Hybrid is the start-anywhere run; only chain queries support it.
+	Hybrid
+	// TopDownDet compiles to a minimized deterministic TDSTA and runs
+	// topdown_jump; only the restricted fragment supports it.
+	TopDownDet
+	// Stepwise is the Koch/Gottlob-style baseline (the MonetDB stand-in
+	// of Appendix D).
+	Stepwise
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Naive:
+		return "naive"
+	case Jumping:
+		return "jumping"
+	case Memoized:
+		return "memoized"
+	case Optimized:
+		return "optimized"
+	case Hybrid:
+		return "hybrid"
+	case TopDownDet:
+		return "topdown-det"
+	case Stepwise:
+		return "stepwise"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// hybridCountFraction: Auto uses the hybrid run when the cheapest chain
+// label's count is below this fraction of the most frequent one — the
+// "one of the labels in the query has a low count" condition of §5.
+const hybridCountFraction = 0.05
+
+// Engine evaluates queries over one document. It is safe for concurrent
+// use: the document and index are immutable and the compiled-query cache
+// is mutex-guarded (each evaluation carries its own run state).
+type Engine struct {
+	doc *tree.Document
+	ix  *index.Index
+
+	mu    sync.Mutex
+	cache map[string]*asta.ASTA
+}
+
+// New builds the engine and its index.
+func New(d *tree.Document) *Engine {
+	return &Engine{doc: d, ix: index.New(d), cache: make(map[string]*asta.ASTA)}
+}
+
+// Doc returns the engine's document.
+func (e *Engine) Doc() *tree.Document { return e.doc }
+
+// Index returns the engine's jumping index.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Answer is a query outcome.
+type Answer struct {
+	// Nodes is the selected node set in document order.
+	Nodes []tree.NodeID
+	// Strategy is the engine that actually ran (never Auto).
+	Strategy Strategy
+	// Visited counts the nodes the run touched.
+	Visited int
+	// MemoEntries counts memoized configurations (ASTA engines only).
+	MemoEntries int
+}
+
+// Query evaluates with the Auto strategy.
+func (e *Engine) Query(query string) (*Answer, error) {
+	return e.QueryWith(query, Auto)
+}
+
+// QueryWith evaluates with an explicit strategy. Forcing Hybrid or
+// TopDownDet on a query outside their fragments returns an error; Auto
+// never fails on fragment grounds.
+func (e *Engine) QueryWith(query string, s Strategy) (*Answer, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s {
+	case Stepwise:
+		res := stepwise.Eval(e.doc, p, stepwise.Default())
+		return &Answer{Nodes: res.Selected, Strategy: Stepwise, Visited: res.Stats.Visited}, nil
+	case Hybrid:
+		res, err := hybrid.Eval(e.doc, e.ix, p)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Nodes: res.Selected, Strategy: Hybrid, Visited: res.Stats.Visited}, nil
+	case TopDownDet:
+		aut, err := compile.ToTDSTA(p, e.doc.Names())
+		if err != nil {
+			return nil, err
+		}
+		res := aut.MinimizeTopDown().EvalTopDownJump(e.doc, e.ix)
+		return &Answer{Nodes: res.Selected, Strategy: TopDownDet, Visited: res.Visited}, nil
+	case Naive, Jumping, Memoized, Optimized:
+		return e.runASTA(query, p, s)
+	case Auto:
+		return e.auto(query, p)
+	}
+	return nil, fmt.Errorf("core: unknown strategy %v", s)
+}
+
+func astaOptions(s Strategy) asta.Options {
+	switch s {
+	case Naive:
+		return asta.Options{}
+	case Jumping:
+		return asta.Options{Jump: true}
+	case Memoized:
+		return asta.Options{Memo: true}
+	default:
+		return asta.Opt()
+	}
+}
+
+func (e *Engine) runASTA(query string, p *xpath.Path, s Strategy) (*Answer, error) {
+	e.mu.Lock()
+	aut, ok := e.cache[query]
+	e.mu.Unlock()
+	if !ok {
+		var err error
+		aut, err = compile.ToASTA(p, e.doc.Names())
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.cache[query] = aut
+		e.mu.Unlock()
+	}
+	res := aut.Eval(e.doc, e.ix, astaOptions(s))
+	return &Answer{
+		Nodes:       res.Selected,
+		Strategy:    s,
+		Visited:     res.Stats.Visited,
+		MemoEntries: res.Stats.MemoEntries,
+	}, nil
+}
+
+// auto chooses the strategy for a query: hybrid when a chain label is
+// rare, otherwise the fully optimized ASTA evaluator. (The TDSTA path is
+// available explicitly; the ASTA engine subsumes its jumps, so Auto
+// prefers the uniform pipeline.)
+func (e *Engine) auto(query string, p *xpath.Path) (*Answer, error) {
+	if min, max, ok := e.chainCounts(p); ok && max > 0 &&
+		float64(min) <= hybridCountFraction*float64(max) {
+		res, err := hybrid.Eval(e.doc, e.ix, p)
+		if err == nil {
+			return &Answer{Nodes: res.Selected, Strategy: Hybrid, Visited: res.Stats.Visited}, nil
+		}
+	}
+	ans, err := e.runASTA(query, p, Optimized)
+	if err != nil {
+		// Features outside the automata fragment (backward axes, text
+		// functions) run step-wise, like the paper's black-box handling
+		// of XPath 1.0 functions (§6).
+		res := stepwise.Eval(e.doc, p, stepwise.Default())
+		return &Answer{Nodes: res.Selected, Strategy: Stepwise, Visited: res.Stats.Visited}, nil
+	}
+	return ans, nil
+}
+
+// chainCounts returns the min and max global label counts of a chain
+// query, and ok=false when the query is outside the chain fragment.
+func (e *Engine) chainCounts(p *xpath.Path) (min, max int, ok bool) {
+	if !p.Absolute || len(p.Steps) == 0 {
+		return 0, 0, false
+	}
+	min = int(^uint(0) >> 1)
+	for _, st := range p.Steps {
+		if (st.Axis != xpath.Child && st.Axis != xpath.Descendant) ||
+			st.Test.Kind != xpath.TestName || len(st.Preds) > 0 {
+			return 0, 0, false
+		}
+		n := 0
+		if id, found := e.doc.Names().Lookup(st.Test.Name); found {
+			n = e.ix.Count(id)
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max, true
+}

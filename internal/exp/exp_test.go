@@ -1,0 +1,214 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func testWorkload(t *testing.T) *exp.Workload {
+	t.Helper()
+	return exp.NewWorkload(0.004, 1)
+}
+
+func TestFigure3Shape(t *testing.T) {
+	w := testWorkload(t)
+	rows, err := exp.Figure3(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	byID := map[string]exp.Fig3Row{}
+	for _, r := range rows {
+		byID[r.ID] = r
+		// Structural invariants of the table.
+		if r.Selected > r.VisitedJump {
+			t.Errorf("%s: selected %d > visited-with-jumping %d", r.ID, r.Selected, r.VisitedJump)
+		}
+		if r.VisitedJump > r.VisitedNoJump {
+			t.Errorf("%s: jumping visited more than non-jumping (%d > %d)",
+				r.ID, r.VisitedJump, r.VisitedNoJump)
+		}
+		if r.Selected > 0 && r.Ratio <= 0 {
+			t.Errorf("%s: ratio not computed", r.ID)
+		}
+	}
+	// Paper shapes: Q01 touches a handful of nodes; Q10 selects exactly
+	// the root; Q11..Q15 all select every keyword (same count).
+	if byID["Q01"].VisitedJump > 25 {
+		t.Errorf("Q01 visited %d with jumping, expected a handful", byID["Q01"].VisitedJump)
+	}
+	if byID["Q10"].Selected != 1 {
+		t.Errorf("Q10 selected %d, want 1 (the site element)", byID["Q10"].Selected)
+	}
+	kw := byID["Q11"].Selected
+	for _, id := range []string{"Q12", "Q13", "Q14", "Q15"} {
+		if byID[id].Selected != kw {
+			t.Errorf("%s selected %d, want %d (all keywords, as Q11)", id, byID[id].Selected, kw)
+		}
+	}
+	// Q05's approximation is tight: visited ≈ listitems-top + selected
+	// (paper: "we end up touching exactly the number of relevant
+	// nodes"); allow slack but demand the same order of magnitude.
+	q05 := byID["Q05"]
+	if q05.VisitedJump > 4*q05.Selected+100 {
+		t.Errorf("Q05: visited %d vs selected %d — approximation far from tight",
+			q05.VisitedJump, q05.Selected)
+	}
+	out := exp.FormatFigure3(rows, w.Doc.NumNodes())
+	if !strings.Contains(out, "Q15") {
+		t.Error("formatted table incomplete")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	w := testWorkload(t)
+	rows, err := exp.Figure4(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Aggregate shape: opt should beat naive overall (per-query noise
+	// at tiny scales is possible, totals must hold).
+	var naive, opt int64
+	for _, r := range rows {
+		naive += r.Naive.Nanoseconds()
+		opt += r.Opt.Nanoseconds()
+	}
+	if opt > naive {
+		t.Errorf("total Opt time %d > total Naive time %d", opt, naive)
+	}
+	if s := exp.FormatFigure4(rows); !strings.Contains(s, "Opt.") {
+		t.Error("format broken")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rows, err := exp.Figure5(0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byCfg := map[string]exp.Fig5Row{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	// A and B: hybrid visits a small fraction of what the regular run
+	// visits (the paper's headline for the hybrid strategy).
+	for _, c := range []string{"A", "B"} {
+		r := byCfg[c]
+		if r.HybridVisited*5 > r.RegularVisited {
+			t.Errorf("config %s: hybrid visited %d vs regular %d — no big win",
+				c, r.HybridVisited, r.RegularVisited)
+		}
+		if r.Selected != 4 {
+			t.Errorf("config %s selected %d, want 4", c, r.Selected)
+		}
+	}
+	// D: the worst case — hybrid visits FEWER nodes but does not win
+	// big; at minimum the regular run must stay competitive in visits
+	// within the same order of magnitude.
+	d := byCfg["D"]
+	if d.HybridVisited == 0 || d.RegularVisited == 0 {
+		t.Errorf("config D: zero visit counts")
+	}
+	if s := exp.FormatFigure5(rows); !strings.Contains(s, "Cfg") {
+		t.Error("format broken")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	// Figure 8's claim is about documents large enough that per-query
+	// fixed costs do not dominate; use a bigger workload than the other
+	// figures (the paper's is 116MB).
+	w := exp.NewWorkload(0.05, 1)
+	rows, err := exp.Figure8(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shape claims: the engine wins in aggregate, and on the
+	// automata-logic queries Q12 and Q15 where the step-wise baseline
+	// re-scans the document per predicate (//*//* is its worst case).
+	var eng, base int64
+	byID := map[string]exp.Fig8Row{}
+	for _, r := range rows {
+		eng += r.Engine.Nanoseconds()
+		base += r.Baseline.Nanoseconds()
+		byID[r.ID] = r
+	}
+	if eng > base {
+		t.Errorf("engine total %dns slower than baseline %dns", eng, base)
+	}
+	if r := byID["Q15"]; r.Engine > r.Baseline {
+		t.Errorf("Q15: engine %v slower than baseline %v", r.Engine, r.Baseline)
+	}
+	if s := exp.FormatFigure8(rows); !strings.Contains(s, "speedup") {
+		t.Error("format broken")
+	}
+}
+
+func TestExampleC1(t *testing.T) {
+	rows, err := exp.ExampleC1([]int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.States != 2*r.N+2 { // paper counts 2n+1; +1 for the #doc init state
+			t.Errorf("n=%d: states = %d, want %d", r.N, r.States, 2*r.N+2)
+		}
+		want := 1
+		for i := 0; i < r.N; i++ {
+			want *= 2
+		}
+		if r.DNFTerms != want {
+			t.Errorf("n=%d: DNF terms = %d, want 2^n = %d", r.N, r.DNFTerms, want)
+		}
+	}
+	// Linear vs exponential: at n=16 the ASTA must be tiny compared to
+	// the DNF.
+	last := rows[len(rows)-1]
+	if last.FormulaSize > 400 {
+		t.Errorf("ASTA formula size %d not linear-ish at n=16", last.FormulaSize)
+	}
+	if last.DNFTerms != 65536 {
+		t.Errorf("DNF terms = %d", last.DNFTerms)
+	}
+	if s := exp.FormatExampleC1(rows); !strings.Contains(s, "blow-up") {
+		t.Error("format broken")
+	}
+}
+
+func TestScaling(t *testing.T) {
+	rows, err := exp.Scaling("//listitem//keyword", []float64{0.002, 0.008}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	nodeGrowth := float64(big.Nodes) / float64(small.Nodes)
+	naiveGrowth := float64(big.NaiveVisited) / float64(small.NaiveVisited)
+	jumpGrowth := float64(big.JumpVisited) / float64(small.JumpVisited)
+	selGrowth := float64(big.Selected) / float64(small.Selected)
+	// Naive visits track |D|; jumping visits track the result size.
+	if naiveGrowth < 0.7*nodeGrowth {
+		t.Errorf("naive visits did not grow with |D|: %.2fx vs %.2fx nodes", naiveGrowth, nodeGrowth)
+	}
+	if jumpGrowth > 2.5*selGrowth {
+		t.Errorf("jumping visits grew faster than the result: %.2fx vs %.2fx selected", jumpGrowth, selGrowth)
+	}
+	if s := exp.FormatScaling("//listitem//keyword", rows); !strings.Contains(s, "jump-vis") {
+		t.Error("format broken")
+	}
+}

@@ -1,0 +1,201 @@
+// Package hybrid implements the "start anywhere" evaluation strategy of
+// §4.4: for a query like //listitem//keyword//emph, pick the step whose
+// label has the lowest global count (the index answers counts in O(1)),
+// jump directly to its occurrences, verify the upward context with
+// parent moves (the paper's index has no upward jumps either) and match
+// the remaining downward steps against the indexed occurrences of the
+// final label inside each pivot's subtree. Configurations A and B of
+// Figure 5 are the cases where this wins by orders of magnitude.
+//
+// The strategy applies to the fragment the paper demonstrates it on:
+// absolute chains of child/descendant steps with name tests and no
+// predicates. Eval reports ErrUnsupported otherwise so callers can fall
+// back to the regular top-down+bottom-up engine.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+// ErrUnsupported reports a query outside the hybrid fragment.
+var ErrUnsupported = errors.New("hybrid: query outside the chain fragment")
+
+// Stats counts evaluator effort.
+type Stats struct {
+	// Visited counts nodes inspected: pivot occurrences, ancestor-walk
+	// steps and downward candidates.
+	Visited int
+	// Pivot is the step index evaluation started from.
+	Pivot int
+}
+
+// Result is the evaluation outcome.
+type Result struct {
+	Selected []tree.NodeID
+	Stats    Stats
+}
+
+// chainStep is a normalized step of the supported fragment.
+type chainStep struct {
+	desc  bool // descendant axis (child otherwise)
+	label tree.LabelID
+}
+
+// normalize validates the fragment and resolves labels; ok is false when
+// a label is absent from the document (empty result).
+func normalize(p *xpath.Path, names *tree.LabelTable) ([]chainStep, bool, error) {
+	if !p.Absolute || len(p.Steps) == 0 {
+		return nil, false, fmt.Errorf("%w: path must be absolute", ErrUnsupported)
+	}
+	// Validate the whole fragment before resolving labels, so queries
+	// outside the fragment report ErrUnsupported even when some label
+	// is absent from this document.
+	for _, st := range p.Steps {
+		if st.Axis != xpath.Child && st.Axis != xpath.Descendant {
+			return nil, false, fmt.Errorf("%w: axis %v", ErrUnsupported, st.Axis)
+		}
+		if st.Test.Kind != xpath.TestName {
+			return nil, false, fmt.Errorf("%w: node test %s", ErrUnsupported, st.Test)
+		}
+		if len(st.Preds) > 0 {
+			return nil, false, fmt.Errorf("%w: predicates", ErrUnsupported)
+		}
+	}
+	out := make([]chainStep, len(p.Steps))
+	for i, st := range p.Steps {
+		id, ok := names.Lookup(st.Test.Name)
+		if !ok {
+			return nil, false, nil
+		}
+		out[i] = chainStep{desc: st.Axis == xpath.Descendant, label: id}
+	}
+	return out, true, nil
+}
+
+// Eval evaluates a chain query starting from its cheapest step.
+func Eval(d *tree.Document, ix *index.Index, p *xpath.Path) (Result, error) {
+	steps, ok, err := normalize(p, d.Names())
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{}, nil
+	}
+	pivot := 0
+	for i, st := range steps {
+		if ix.Count(st.label) < ix.Count(steps[pivot].label) {
+			pivot = i
+		}
+	}
+	e := &evaluator{d: d, ix: ix, steps: steps}
+	e.stats.Pivot = pivot
+
+	last := len(steps) - 1
+	var out []tree.NodeID
+	for _, v := range ix.Occurrences(steps[pivot].label) {
+		e.stats.Visited++
+		if !e.matchUpTo(v, pivot) {
+			continue
+		}
+		if pivot == last {
+			out = append(out, v)
+			continue
+		}
+		// Downward part: candidates are the indexed occurrences of the
+		// final label inside v's subtree; each verifies the
+		// intermediate chain by walking ancestors back toward v.
+		occ := e.ix.Occurrences(steps[last].label)
+		lo := sort.Search(len(occ), func(k int) bool { return occ[k] > v })
+		end := e.d.LastDesc(v)
+		for ; lo < len(occ) && occ[lo] <= end; lo++ {
+			u := occ[lo]
+			e.stats.Visited++
+			if e.matchBetween(u, last, v, pivot) {
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return Result{Selected: out[:w], Stats: e.stats}, nil
+}
+
+// EvalString parses and evaluates.
+func EvalString(d *tree.Document, ix *index.Index, query string) (Result, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return Eval(d, ix, p)
+}
+
+type evaluator struct {
+	d     *tree.Document
+	ix    *index.Index
+	steps []chainStep
+	stats Stats
+}
+
+// matchUpTo reports whether u can serve as the step-i node of the chain,
+// with steps[0..i-1] realized by ancestors (a backtracking match; chains
+// and document depths are small).
+func (e *evaluator) matchUpTo(u tree.NodeID, i int) bool {
+	if u == tree.Nil || e.d.Label(u) != e.steps[i].label {
+		return false
+	}
+	if i == 0 {
+		if e.steps[0].desc {
+			return true
+		}
+		return e.d.Parent(u) == e.d.Root()
+	}
+	if !e.steps[i].desc {
+		e.stats.Visited++
+		return e.matchUpTo(e.d.Parent(u), i-1)
+	}
+	for a := e.d.Parent(u); a != tree.Nil; a = e.d.Parent(a) {
+		e.stats.Visited++
+		if e.matchUpTo(a, i-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchBetween reports whether u can serve as the step-k node with
+// steps[pivot+1..k-1] realized strictly between the pivot node v and u.
+func (e *evaluator) matchBetween(u tree.NodeID, k int, v tree.NodeID, pivot int) bool {
+	if u == tree.Nil || u == v || e.d.Label(u) != e.steps[k].label {
+		return false
+	}
+	if k == pivot+1 {
+		if e.steps[k].desc {
+			// u is inside v's subtree by construction.
+			return true
+		}
+		return e.d.Parent(u) == v
+	}
+	if !e.steps[k].desc {
+		e.stats.Visited++
+		return e.matchBetween(e.d.Parent(u), k-1, v, pivot)
+	}
+	for a := e.d.Parent(u); a != tree.Nil && a != v; a = e.d.Parent(a) {
+		e.stats.Visited++
+		if e.matchBetween(a, k-1, v, pivot) {
+			return true
+		}
+	}
+	return false
+}

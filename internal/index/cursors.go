@@ -1,0 +1,125 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/labels"
+	"repro/internal/tree"
+)
+
+// Cursors provides forward-only positions into the per-label occurrence
+// arrays. An evaluator that queries positions in non-decreasing document
+// order (which the jumping traversal of §4.3 does: binary preorder only
+// moves right) gets amortized O(1) successor lookups instead of a binary
+// search per jump: each cursor sweeps its array at most once per
+// evaluation, galloping over large skips.
+//
+// Correctness requires monotone use: NextAfter(l, x) assumes x is at
+// least as large as any previous bound passed for label l.
+type Cursors struct {
+	ix  *Index
+	pos []int32
+}
+
+// NewCursors returns fresh cursors for one evaluation pass.
+func (ix *Index) NewCursors() *Cursors {
+	return &Cursors{ix: ix, pos: make([]int32, len(ix.occ))}
+}
+
+// Reset rewinds all cursors for reuse.
+func (c *Cursors) Reset() {
+	for i := range c.pos {
+		c.pos[i] = 0
+	}
+}
+
+// NextAfter returns the first occurrence of label l strictly after x, or
+// Nil. The cursor is left on the returned occurrence (peek semantics).
+func (c *Cursors) NextAfter(l tree.LabelID, x tree.NodeID) tree.NodeID {
+	if int(l) >= len(c.ix.occ) {
+		return Nil
+	}
+	occ := c.ix.occ[l]
+	i := int(c.pos[l])
+	lin := 0
+	for i < len(occ) && occ[i] <= x {
+		i++
+		lin++
+		if lin == 8 {
+			rest := occ[i:]
+			i += sort.Search(len(rest), func(k int) bool { return rest[k] > x })
+			break
+		}
+	}
+	c.pos[l] = int32(i)
+	if i < len(occ) {
+		return occ[i]
+	}
+	return Nil
+}
+
+// TopMostEach enumerates the top-most L-labeled nodes of v's binary
+// subtree in document order, like Index.TopMostEach but driven by the
+// monotone cursors. ok is false for co-finite L.
+func (c *Cursors) TopMostEach(v tree.NodeID, L labels.Set, fn func(tree.NodeID)) bool {
+	ids, finite := L.Finite()
+	if !finite {
+		return false
+	}
+	end := c.ix.binEnd[v]
+	after := v
+	for {
+		best := Nil
+		for _, l := range ids {
+			if u := c.NextAfter(l, after); u != Nil && u <= end && (best == Nil || u < best) {
+				best = u
+			}
+		}
+		if best == Nil {
+			return true
+		}
+		fn(best)
+		after = c.ix.binEnd[best]
+	}
+}
+
+// Rt is the cursor-driven r_t(π, L): the first node on the rightmost
+// binary path (following-sibling chain) of π whose label is in L, or
+// Nil.
+func (c *Cursors) Rt(v tree.NodeID, L labels.Set) tree.NodeID {
+	d := c.ix.doc
+	p := d.Parent(v)
+	if p == tree.Nil {
+		return Nil
+	}
+	ids, finite := L.Finite()
+	if !finite {
+		for u := d.NextSibling(v); u != tree.Nil; u = d.NextSibling(u) {
+			if L.Contains(d.Label(u)) {
+				return u
+			}
+		}
+		return Nil
+	}
+	end := d.LastDesc(p)
+	after := d.LastDesc(v)
+	for {
+		best := Nil
+		for _, l := range ids {
+			if u := c.NextAfter(l, after); u != Nil && u <= end && (best == Nil || u < best) {
+				best = u
+			}
+		}
+		if best == Nil {
+			return Nil
+		}
+		if d.Parent(best) == p {
+			return best
+		}
+		s := best
+		for d.Parent(s) != p {
+			s = d.Parent(s)
+		}
+		after = d.LastDesc(s)
+	}
+}

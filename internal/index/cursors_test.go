@@ -1,0 +1,159 @@
+package index_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/labels"
+	"repro/internal/tgen"
+	"repro/internal/tree"
+)
+
+// TestCursorsNextAfterMonotone: under monotone bounds, NextAfter equals
+// the binary-search successor.
+func TestCursorsNextAfterMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 300, Labels: []string{"a", "b", "c"}})
+		ix := index.New(d)
+		cur := ix.NewCursors()
+		aID, ok := d.Names().Lookup("a")
+		if !ok {
+			return true
+		}
+		occ := ix.Occurrences(aID)
+		x := tree.NodeID(-1)
+		for i := 0; i < 50; i++ {
+			x += tree.NodeID(rng.Intn(12)) // non-decreasing bounds
+			got := cur.NextAfter(aID, x)
+			j := sort.Search(len(occ), func(k int) bool { return occ[k] > x })
+			want := index.Nil
+			if j < len(occ) {
+				want = occ[j]
+			}
+			if got != want {
+				t.Logf("seed=%d NextAfter(a, %d) = %d, want %d", seed, x, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCursorsTopMostEachMatchesIndex: the cursor-driven enumeration
+// yields exactly Index.TopMost when traversed in document order.
+func TestCursorsTopMostEachMatchesIndex(t *testing.T) {
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 250, Labels: []string{"a", "b", "c"}})
+		ix := index.New(d)
+		aID, okA := d.Names().Lookup("a")
+		bID, okB := d.Names().Lookup("b")
+		if !okA || !okB {
+			return true
+		}
+		L := labels.Of(aID, bID)
+		// Enumerate from a sequence of nodes in increasing preorder
+		// (monotone use, as the evaluator guarantees).
+		cur := ix.NewCursors()
+		prevEnd := tree.NodeID(-1)
+		for v := tree.NodeID(0); int(v) < d.NumNodes(); v += tree.NodeID(1 + int(v)%7) {
+			if v <= prevEnd {
+				continue // stay monotone: skip nodes inside the last scanned region
+			}
+			want, _ := ix.TopMost(v, L)
+			var got []tree.NodeID
+			if !cur.TopMostEach(v, L, func(u tree.NodeID) { got = append(got, u) }) {
+				return false
+			}
+			if len(got) != len(want) {
+				t.Logf("seed=%d v=%d: got %v want %v", seed, v, got, want)
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			prevEnd = ix.BinEnd(v)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCursorsRtMatchesIndex: cursor Rt equals Index.Rt under monotone use.
+func TestCursorsRtMatchesIndex(t *testing.T) {
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 250, Labels: []string{"a", "b", "c"}})
+		ix := index.New(d)
+		aID, ok := d.Names().Lookup("a")
+		if !ok {
+			return true
+		}
+		L := labels.Of(aID)
+		cur := ix.NewCursors()
+		prevBound := tree.NodeID(-1)
+		for v := tree.NodeID(1); int(v) < d.NumNodes(); v += tree.NodeID(1 + int(v)%5) {
+			// Monotone requirement: Rt queries from lastDesc(v); only
+			// issue queries with non-decreasing bounds.
+			if d.LastDesc(v) < prevBound {
+				continue
+			}
+			prevBound = d.LastDesc(v)
+			if got, want := cur.Rt(v, L), ix.Rt(v, L); got != want {
+				t.Logf("seed=%d Rt(%d) = %d, want %d", seed, v, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCursorsRtCofinite(t *testing.T) {
+	d := tgen.Random(3, tgen.Config{MaxNodes: 100, Labels: []string{"a", "b"}})
+	ix := index.New(d)
+	aID, _ := d.Names().Lookup("a")
+	cur := ix.NewCursors()
+	// Co-finite sets take the chain-walk fallback, which is stateless,
+	// so monotonicity is not required.
+	for v := tree.NodeID(1); int(v) < d.NumNodes(); v++ {
+		if got, want := cur.Rt(v, labels.Not(aID)), ix.Rt(v, labels.Not(aID)); got != want {
+			t.Fatalf("Rt(%d, Σ\\{a}) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestCursorsReset(t *testing.T) {
+	d := tgen.Star("r", "c", 10)
+	ix := index.New(d)
+	cID, _ := d.Names().Lookup("c")
+	cur := ix.NewCursors()
+	first := cur.NextAfter(cID, tree.NodeID(d.NumNodes())) // past the end
+	if first != index.Nil {
+		t.Fatalf("expected Nil past the end, got %d", first)
+	}
+	cur.Reset()
+	if got := cur.NextAfter(cID, 0); got == index.Nil {
+		t.Error("Reset did not rewind the cursor")
+	}
+}
+
+func TestCursorsUnknownLabel(t *testing.T) {
+	d := tgen.Star("r", "c", 3)
+	ix := index.New(d)
+	cur := ix.NewCursors()
+	if got := cur.NextAfter(tree.LabelID(999), 0); got != index.Nil {
+		t.Errorf("unknown label: %d", got)
+	}
+}

@@ -1,0 +1,393 @@
+package index_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/labels"
+	"repro/internal/tgen"
+	"repro/internal/tree"
+)
+
+// --- Naive oracles over the binary (fcns) view ---
+
+// binDescendants lists the binary-tree descendants of v in document order
+// (strictly below v: left subtree, then right subtree).
+func binDescendants(d *tree.Document, v tree.NodeID) []tree.NodeID {
+	var out []tree.NodeID
+	var walk func(u tree.NodeID)
+	walk = func(u tree.NodeID) {
+		if u == tree.Nil {
+			return
+		}
+		out = append(out, u)
+		walk(d.BinaryLeft(u))
+		walk(d.BinaryRight(u))
+	}
+	walk(d.BinaryLeft(v))
+	walk(d.BinaryRight(v))
+	return out
+}
+
+func naiveDt(d *tree.Document, v tree.NodeID, L labels.Set) tree.NodeID {
+	for _, u := range binDescendants(d, v) {
+		if L.Contains(d.Label(u)) {
+			return u
+		}
+	}
+	return tree.Nil
+}
+
+func naiveFt(d *tree.Document, v tree.NodeID, L labels.Set, scope tree.NodeID) tree.NodeID {
+	// Following nodes of v within scope's binary subtree: binary
+	// descendants of scope, in document order, after v's binary subtree.
+	ds := binDescendants(d, scope)
+	// v's binary subtree = v plus binDescendants(v).
+	sub := map[tree.NodeID]bool{v: true}
+	for _, u := range binDescendants(d, v) {
+		sub[u] = true
+	}
+	started := false
+	for _, u := range ds {
+		if u == v {
+			started = true
+			continue
+		}
+		if !started || sub[u] {
+			continue
+		}
+		if L.Contains(d.Label(u)) {
+			return u
+		}
+	}
+	return tree.Nil
+}
+
+func naiveLt(d *tree.Document, v tree.NodeID, L labels.Set) tree.NodeID {
+	for u := d.BinaryLeft(v); u != tree.Nil; u = d.BinaryLeft(u) {
+		if L.Contains(d.Label(u)) {
+			return u
+		}
+	}
+	return tree.Nil
+}
+
+func naiveRt(d *tree.Document, v tree.NodeID, L labels.Set) tree.NodeID {
+	for u := d.BinaryRight(v); u != tree.Nil; u = d.BinaryRight(u) {
+		if L.Contains(d.Label(u)) {
+			return u
+		}
+	}
+	return tree.Nil
+}
+
+func randomLabelSet(rng *rand.Rand, d *tree.Document) labels.Set {
+	sigma := d.Names().Size()
+	n := 1 + rng.Intn(2)
+	ids := make([]tree.LabelID, n)
+	for i := range ids {
+		ids[i] = tree.LabelID(rng.Intn(sigma))
+	}
+	return labels.Of(ids...)
+}
+
+func TestJumpFunctionsAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 120, Labels: []string{"a", "b", "c"}})
+		ix := index.New(d)
+		for trial := 0; trial < 30; trial++ {
+			v := tree.NodeID(rng.Intn(d.NumNodes()))
+			L := randomLabelSet(rng, d)
+			if got, ok := ix.Dt(v, L); !ok || got != naiveDt(d, v, L) {
+				return false
+			}
+			if got := ix.Lt(v, L); got != naiveLt(d, v, L) {
+				return false
+			}
+			if got := ix.Rt(v, L); got != naiveRt(d, v, L) {
+				return false
+			}
+			// Ft with a random scope that binarily contains v.
+			scope := v
+			if p := d.Parent(v); p != tree.Nil && rng.Intn(2) == 0 {
+				scope = p
+			}
+			if got, ok := ix.Ft(v, L, scope); !ok || got != naiveFt(d, v, L, scope) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRtCofiniteFallback(t *testing.T) {
+	d := tgen.Random(4, tgen.Config{MaxNodes: 150, Labels: []string{"a", "b", "c"}})
+	ix := index.New(d)
+	rng := rand.New(rand.NewSource(8))
+	aID, _ := d.Names().Lookup("a")
+	L := labels.Not(aID)
+	for trial := 0; trial < 50; trial++ {
+		v := tree.NodeID(rng.Intn(d.NumNodes()))
+		if got := ix.Rt(v, L); got != naiveRt(d, v, L) {
+			t.Fatalf("Rt(%d, Σ\\{a}) = %d, want %d", v, got, naiveRt(d, v, L))
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	d := tgen.Star("r", "c", 9)
+	ix := index.New(d)
+	c, _ := d.Names().Lookup("c")
+	r, _ := d.Names().Lookup("r")
+	if ix.Count(c) != 9 || ix.Count(r) != 1 {
+		t.Errorf("Count wrong: c=%d r=%d", ix.Count(c), ix.Count(r))
+	}
+	if n, ok := ix.CountSet(labels.Of(c, r)); !ok || n != 10 {
+		t.Errorf("CountSet = %d,%v", n, ok)
+	}
+	if _, ok := ix.CountSet(labels.Not(c)); ok {
+		t.Errorf("CountSet of co-finite set should fail")
+	}
+	if ix.Count(tree.LabelID(999)) != 0 {
+		t.Errorf("Count of unknown label should be 0")
+	}
+}
+
+func TestOccurrencesSorted(t *testing.T) {
+	d := tgen.Random(11, tgen.Config{MaxNodes: 300})
+	ix := index.New(d)
+	for l := tree.LabelID(0); int(l) < d.Names().Size(); l++ {
+		occ := ix.Occurrences(l)
+		for i := 1; i < len(occ); i++ {
+			if occ[i-1] >= occ[i] {
+				t.Fatalf("occurrences of label %d not strictly sorted", l)
+			}
+		}
+		if len(occ) != d.CountLabel(l) {
+			t.Fatalf("occurrence count mismatch for label %d", l)
+		}
+	}
+}
+
+func TestTopMost(t *testing.T) {
+	// <r><a><a/><b/></a><c><a/></c></r>: top-most a's under r's binary
+	// subtree are the first a (child of r) and the a under c.
+	src := tree.NewBuilder()
+	src.Open("r")
+	src.Open("a")
+	src.Open("a")
+	src.Close()
+	src.Open("b")
+	src.Close()
+	src.Close()
+	src.Open("c")
+	src.Open("a")
+	src.Close()
+	src.Close()
+	src.Close()
+	d := src.MustFinish()
+	ix := index.New(d)
+	a, _ := d.Names().Lookup("a")
+	r := d.DocumentElement()
+	// Binary-subtree semantics: the first a-child of r has the c-subtree
+	// in its *binary* subtree (siblings are binary descendants), so it is
+	// the single top-most a.
+	tm, ok := ix.TopMost(r, labels.Of(a))
+	if !ok || len(tm) != 1 {
+		t.Fatalf("TopMost(r) = %v, %v; want exactly the first a", tm, ok)
+	}
+	if d.Parent(tm[0]) != r || d.LabelName(tm[0]) != "a" {
+		t.Errorf("top-most a should be the a-child of r")
+	}
+	// From that a, the binary subtree spans its own XML subtree plus its
+	// following sibling c's subtree: top-most a's are the nested a and
+	// the a under c.
+	tm2, _ := ix.TopMost(tm[0], labels.Of(a))
+	if len(tm2) != 2 {
+		t.Fatalf("TopMost(a) = %v, want 2 nodes", tm2)
+	}
+	if d.Parent(tm2[0]) != tm[0] {
+		t.Errorf("first should be the nested a")
+	}
+	if d.LabelName(d.Parent(tm2[1])) != "c" {
+		t.Errorf("second should be the a under c")
+	}
+}
+
+// Property: TopMost returns exactly the L-labeled binary descendants with
+// no L-labeled proper binary ancestor below the scope root.
+func TestTopMostProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 100, Labels: []string{"a", "b"}})
+		ix := index.New(d)
+		v := tree.NodeID(rng.Intn(d.NumNodes()))
+		aID, ok := d.Names().Lookup("a")
+		if !ok {
+			return true
+		}
+		L := labels.Of(aID)
+		got, _ := ix.TopMost(v, L)
+		// Oracle: walk binary tree from v, stop descending at matches.
+		var want []tree.NodeID
+		var walk func(u tree.NodeID)
+		walk = func(u tree.NodeID) {
+			if u == tree.Nil {
+				return
+			}
+			if L.Contains(d.Label(u)) {
+				want = append(want, u)
+				return
+			}
+			walk(d.BinaryLeft(u))
+			walk(d.BinaryRight(u))
+		}
+		walk(d.BinaryLeft(v))
+		walk(d.BinaryRight(v))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBottomMost(t *testing.T) {
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 150, Labels: []string{"a", "b"}})
+		ix := index.New(d)
+		aID, ok := d.Names().Lookup("a")
+		if !ok {
+			return true
+		}
+		got := ix.BottomMost(aID)
+		// Oracle: an a-node with no a-descendant.
+		var want []tree.NodeID
+		for _, v := range ix.Occurrences(aID) {
+			hasBelow := false
+			for u := v + 1; u <= d.LastDesc(v); u++ {
+				if d.Label(u) == aID {
+					hasBelow = true
+					break
+				}
+			}
+			if !hasBelow {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	// Cached second call returns the same slice.
+	d := tgen.Star("r", "a", 3)
+	ix := index.New(d)
+	aID, _ := d.Names().Lookup("a")
+	first := ix.BottomMost(aID)
+	second := ix.BottomMost(aID)
+	if len(first) != 3 || len(second) != 3 {
+		t.Errorf("BottomMost on star wrong: %v", first)
+	}
+}
+
+func TestAncestorWithLabel(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Open("r")
+	b.Open("a")
+	b.Open("b")
+	x := b.Open("x")
+	b.Close()
+	b.Close()
+	b.Close()
+	b.Close()
+	d := b.MustFinish()
+	ix := index.New(d)
+	a, _ := d.Names().Lookup("a")
+	r, _ := d.Names().Lookup("r")
+	if got := ix.AncestorWithLabel(x, labels.Of(a)); d.Label(got) != a {
+		t.Errorf("nearest a-ancestor wrong")
+	}
+	if got := ix.AncestorWithLabel(x, labels.Of(r)); d.Label(got) != r {
+		t.Errorf("nearest r-ancestor wrong")
+	}
+	z := d.Names().Intern("z")
+	if got := ix.AncestorWithLabel(x, labels.Of(z)); got != tree.Nil {
+		t.Errorf("missing ancestor should be Nil, got %d", got)
+	}
+}
+
+func TestBinEnd(t *testing.T) {
+	d := tgen.Random(21, tgen.Config{MaxNodes: 80})
+	ix := index.New(d)
+	for v := tree.NodeID(0); int(v) < d.NumNodes(); v++ {
+		ds := binDescendants(d, v)
+		want := v
+		for _, u := range ds {
+			if u > want {
+				want = u
+			}
+		}
+		if got := ix.BinEnd(v); got != want {
+			t.Fatalf("BinEnd(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func BenchmarkDt(b *testing.B) {
+	d := tgen.Random(1, tgen.Config{MaxNodes: 100000, Labels: []string{"a", "b", "c", "d", "e"}})
+	ix := index.New(d)
+	aID, _ := d.Names().Lookup("a")
+	L := labels.Of(aID)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ix.Dt(tree.NodeID(i%d.NumNodes()), L)
+	}
+}
+
+func BenchmarkRtSkipping(b *testing.B) {
+	// Wide sibling list where the target label is rare and far right:
+	// the skip-based Rt must not scan all siblings.
+	bu := tree.NewBuilder()
+	bu.Open("r")
+	for i := 0; i < 100000; i++ {
+		bu.Open("filler")
+		bu.Open("x")
+		bu.Close()
+		bu.Close()
+	}
+	bu.Open("goal")
+	bu.Close()
+	bu.Close()
+	d := bu.MustFinish()
+	ix := index.New(d)
+	g, _ := d.Names().Lookup("goal")
+	first := d.FirstChild(d.DocumentElement())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ix.Rt(first, labels.Of(g)); got == tree.Nil {
+			b.Fatal("goal not found")
+		}
+	}
+}

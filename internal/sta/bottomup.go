@@ -1,0 +1,303 @@
+package sta
+
+import (
+	"repro/internal/index"
+	"repro/internal/labels"
+	"repro/internal/tree"
+)
+
+// EvalBottomUpDet runs a bottom-up deterministic, bottom-up complete STA
+// over the full binary tree: the "pure bottom-up" evaluation of §3.2.
+// Implemented as a reverse-preorder sweep (binary children have larger
+// preorder ranks than their binary parent, so one backward pass is a
+// bottom-up evaluation); LeafReduction is the paper's literal
+// leaf-sequence algorithm and computes the same run (tested).
+func (a *STA) EvalBottomUpDet(d *tree.Document) Result {
+	n := d.NumNodes()
+	run := make(Run, n)
+	res := Result{Run: run, Visited: n}
+	if len(a.Bottom) != 1 {
+		return Result{Run: run}
+	}
+	q0 := a.Bottom[0]
+	for v := n - 1; v >= 0; v-- {
+		node := tree.NodeID(v)
+		ql, qr := q0, q0
+		if c := d.BinaryLeft(node); c != tree.Nil {
+			ql = run[c]
+		}
+		if c := d.BinaryRight(node); c != tree.Nil {
+			qr = run[c]
+		}
+		q, ok := a.SourceDet(ql, qr, d.Label(node))
+		if !ok {
+			return Result{Run: make(Run, 0), Visited: n - v}
+		}
+		run[v] = q
+	}
+	if !a.inTop[run[0]] {
+		return Result{Run: run, Visited: n}
+	}
+	res.Accepted = true
+	for v := tree.NodeID(0); int(v) < n; v++ {
+		if a.IsSelecting(run[v], d.Label(v)) {
+			res.Selected = append(res.Selected, v)
+		}
+	}
+	return res
+}
+
+// leafEntry is one element of the reduction list of Algorithm B.2: a
+// completed binary subtree (rooted at a real node, or a # leaf slot)
+// together with its state.
+type leafEntry struct {
+	// parent is the binary parent of the subtree root; side is 1 for a
+	// left child, 2 for a right child. The document root has parent Nil.
+	parent tree.NodeID
+	side   int8
+	state  State
+}
+
+// LeafReduction is the literal Algorithm B.2: start from the sequence of
+// all # leaves of the binary tree in preorder, each in state q0, and
+// repeatedly replace two sibling entries by their parent with
+// δ(q1, q2, label). It returns the full run and acceptance. It exists to
+// validate EvalBottomUpDet against the paper's pseudocode; both compute
+// the unique bottom-up run.
+func (a *STA) LeafReduction(d *tree.Document) (Run, bool) {
+	n := d.NumNodes()
+	run := make(Run, n)
+	if len(a.Bottom) != 1 {
+		return nil, false
+	}
+	q0 := a.Bottom[0]
+
+	// binParent/binSide for real nodes.
+	binParent := make([]tree.NodeID, n)
+	binSide := make([]int8, n)
+	binParent[0] = tree.Nil
+	for v := tree.NodeID(0); int(v) < n; v++ {
+		if c := d.BinaryLeft(v); c != tree.Nil {
+			binParent[c] = v
+			binSide[c] = 1
+		}
+		if c := d.BinaryRight(v); c != tree.Nil {
+			binParent[c] = v
+			binSide[c] = 2
+		}
+	}
+
+	// Shift-reduce over the preorder leaf sequence. A stack entry whose
+	// top two elements are the left and right children of the same
+	// parent is reduced immediately; this performs exactly the
+	// reductions of the recursive formulation (the reduction system is
+	// confluent — each parent has a unique pair of children).
+	var stack []leafEntry
+	reduce := func() bool {
+		for len(stack) >= 2 {
+			r := stack[len(stack)-1]
+			l := stack[len(stack)-2]
+			if l.parent != r.parent || l.parent == tree.Nil || l.side != 1 || r.side != 2 {
+				return true
+			}
+			v := l.parent
+			q, ok := a.SourceDet(l.state, r.state, d.Label(v))
+			if !ok {
+				return false
+			}
+			run[v] = q
+			stack = stack[:len(stack)-2]
+			stack = append(stack, leafEntry{binParent[v], binSide[v], q})
+		}
+		return true
+	}
+	// Emit the # leaves in binary preorder, reducing eagerly after each.
+	var walk func(v tree.NodeID) bool
+	walk = func(v tree.NodeID) bool {
+		if l := d.BinaryLeft(v); l != tree.Nil {
+			if !walk(l) {
+				return false
+			}
+		} else {
+			stack = append(stack, leafEntry{v, 1, q0})
+			if !reduce() {
+				return false
+			}
+		}
+		if r := d.BinaryRight(v); r != tree.Nil {
+			if !walk(r) {
+				return false
+			}
+		} else {
+			stack = append(stack, leafEntry{v, 2, q0})
+			if !reduce() {
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(0) {
+		return nil, false
+	}
+	if len(stack) != 1 {
+		return nil, false
+	}
+	return run, a.inTop[stack[0].state]
+}
+
+// BottomUpUniversal returns the bottom-up universal state q⊤ (non-changing
+// and in T, Definition 2.4) if the automaton has one.
+func (a *STA) BottomUpUniversal() (State, bool) {
+	for q := State(0); int(q) < a.NumStates; q++ {
+		if a.NonChanging(q) && a.inTop[q] && !a.IsMarking(q) {
+			return q, true
+		}
+	}
+	return NoState, false
+}
+
+// RelevantBottomUp computes the bottom-up relevant nodes of a full run
+// per Lemma 3.2. Children at # positions carry q0.
+func (a *STA) RelevantBottomUp(d *tree.Document, run Run) []tree.NodeID {
+	if len(a.Bottom) != 1 {
+		return nil
+	}
+	q0 := a.Bottom[0]
+	qTop, hasTop := a.BottomUpUniversal()
+	trivial := func(q State) bool { return q == q0 || (hasTop && q == qTop) }
+	var out []tree.NodeID
+	for v := tree.NodeID(0); int(v) < d.NumNodes(); v++ {
+		q := run[v]
+		if a.IsSelecting(q, d.Label(v)) {
+			out = append(out, v)
+			continue
+		}
+		if hasTop && q == qTop {
+			continue
+		}
+		ql, qr := q0, q0
+		if c := d.BinaryLeft(v); c != tree.Nil {
+			ql = run[c]
+		}
+		if c := d.BinaryRight(v); c != tree.Nil {
+			qr = run[c]
+		}
+		switch {
+		case q == ql && q == qr:
+		case q == ql && trivial(qr):
+		case q == qr && trivial(ql):
+		default:
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// bottomUpEssential computes the labels on which a region of q0-states
+// can change: δ(q0, q0, l) ≠ q0 or (q0, l) selecting. A binary subtree
+// containing no such label evaluates to q0 without being visited.
+func (a *STA) bottomUpEssential() (labels.Set, bool) {
+	if len(a.Bottom) != 1 {
+		return labels.Any, false
+	}
+	q0 := a.Bottom[0]
+	loop := labels.None
+	for _, t := range a.Trans {
+		if t.From == q0 && t.Dest.Left == q0 && t.Dest.Right == q0 {
+			loop = loop.Union(t.Guard)
+		}
+	}
+	// A label is skippable iff the (q0, q0) pair maps back to q0 on it
+	// and it is not a selecting configuration of q0.
+	essential := loop.Minus(a.selOf[q0]).Complement()
+	_, fin := essential.Finite()
+	return essential, fin
+}
+
+// EvalBottomUpJump is the bottomup_jump evaluator sketched in §3.2: a
+// bottom-up run that never enters binary subtrees containing no
+// essential label — such regions reduce to q0 unobserved. It is the
+// skipping counterpart of EvalBottomUpDet; ancestor hops are performed
+// with parent moves, as in the paper's implementation ("the tree indexes
+// that we use do not implement the ancestor jumps efficiently").
+func (a *STA) EvalBottomUpJump(d *tree.Document, ix *index.Index) Result {
+	n := d.NumNodes()
+	run := make(Run, n)
+	for i := range run {
+		run[i] = NoState
+	}
+	if len(a.Bottom) != 1 {
+		return Result{Run: run}
+	}
+	q0 := a.Bottom[0]
+	essential, finite := a.bottomUpEssential()
+	if !finite {
+		// No skipping possible; fall back to the full sweep.
+		return a.EvalBottomUpDet(d)
+	}
+	res := Result{Run: run}
+
+	// hasEssential reports whether v's binary subtree contains an
+	// essential label (including v itself).
+	hasEssential := func(v tree.NodeID) bool {
+		if essential.Contains(d.Label(v)) {
+			return true
+		}
+		u, _ := ix.Dt(v, essential)
+		return u != index.Nil
+	}
+
+	// Iterative postorder over the binary tree, skipping dead regions.
+	type frame struct {
+		v        tree.NodeID
+		expanded bool
+	}
+	state := func(c tree.NodeID) State {
+		if c == tree.Nil {
+			return q0
+		}
+		if run[c] == NoState {
+			return q0 // skipped region
+		}
+		return run[c]
+	}
+	stack := []frame{{v: 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if !f.expanded {
+			f.expanded = true
+			if !hasEssential(f.v) {
+				// Whole region reduces to q0 unvisited.
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			for _, c := range []tree.NodeID{d.BinaryRight(f.v), d.BinaryLeft(f.v)} {
+				if c != tree.Nil {
+					stack = append(stack, frame{v: c})
+				}
+			}
+			continue
+		}
+		v := f.v
+		stack = stack[:len(stack)-1]
+		q, ok := a.SourceDet(state(d.BinaryLeft(v)), state(d.BinaryRight(v)), d.Label(v))
+		if !ok {
+			return Result{Run: make(Run, 0), Visited: res.Visited}
+		}
+		run[v] = q
+		res.Visited++
+		if a.IsSelecting(q, d.Label(v)) {
+			res.Selected = append(res.Selected, v)
+		}
+	}
+	root := run[0]
+	if root == NoState {
+		root = q0
+	}
+	if !a.inTop[root] {
+		return Result{Run: run, Visited: res.Visited}
+	}
+	res.Accepted = true
+	sortNodes(res.Selected)
+	return res
+}

@@ -1,0 +1,68 @@
+package stepwise_test
+
+import (
+	"testing"
+
+	"repro/internal/stepwise"
+	"repro/internal/xmlparse"
+)
+
+func TestBackwardAxes(t *testing.T) {
+	d, err := xmlparse.ParseString(`<r><a><b><c/></b></a><b/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"//c/parent::b", 1},
+		{"//c/parent::a", 0},
+		{"//c/..", 1},
+		{"//c/ancestor::a", 1},
+		{"//c/ancestor::*", 3}, // b, a, r
+		{"//c/ancestor-or-self::*", 4},
+		{"//b/ancestor::r", 1},
+		{"//c/../..", 1}, // the a element
+	}
+	for _, tc := range cases {
+		res, err := stepwise.EvalString(d, tc.query, stepwise.Default())
+		if err != nil {
+			t.Errorf("%q: %v", tc.query, err)
+			continue
+		}
+		if len(res.Selected) != tc.want {
+			t.Errorf("%q selected %d, want %d", tc.query, len(res.Selected), tc.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	d, err := xmlparse.ParseString(
+		`<lib><book><title>XPath Whole Query Optimization</title></book>` +
+			`<book><title>Succinct Trees</title><note>about xpath too</note></book></lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{`//book[contains(title, "XPath")]`, 1},
+		{`//book[contains(title, "t")]`, 2},
+		{`//book[contains(., "xpath")]`, 1}, // whole-subtree text
+		{`//book[contains(title, "zzz")]`, 0},
+		{`//book[contains(title/text(), "Succinct")]`, 1},
+		{`//book[not(contains(title, "XPath"))]`, 1},
+	}
+	for _, tc := range cases {
+		res, err := stepwise.EvalString(d, tc.query, stepwise.Default())
+		if err != nil {
+			t.Errorf("%q: %v", tc.query, err)
+			continue
+		}
+		if len(res.Selected) != tc.want {
+			t.Errorf("%q selected %d, want %d", tc.query, len(res.Selected), tc.want)
+		}
+	}
+}

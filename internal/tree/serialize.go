@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization of documents: a compact custom format (magic,
+// label table, preorder label stream with depth deltas, text table) that
+// round-trips exactly and loads without re-parsing XML. Parsing a 100MB
+// XMark file costs seconds; loading its serialized tree is one pass of
+// varint decoding.
+
+const (
+	magic         = "XQO1"
+	opOpen  uint8 = 0 // followed by label varint
+	opClose uint8 = 1
+	opText  uint8 = 2 // followed by string
+)
+
+// WriteTo serializes the document.
+func (d *Document) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(magic)); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		k := binary.PutUvarint(buf[:], x)
+		return count(bw.Write(buf[:k]))
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		return count(bw.WriteString(s))
+	}
+	// Label table (including the reserved entries, for self-containment).
+	if err := writeUvarint(uint64(d.names.Size())); err != nil {
+		return n, err
+	}
+	for _, name := range d.names.Names() {
+		if err := writeString(name); err != nil {
+			return n, err
+		}
+	}
+	// Event stream: preorder with explicit closes.
+	if err := writeUvarint(uint64(d.NumNodes())); err != nil {
+		return n, err
+	}
+	var walk func(v NodeID) error
+	walk = func(v NodeID) error {
+		if d.labels[v] == LabelText {
+			if err := count(bw.Write([]byte{opText})); err != nil {
+				return err
+			}
+			return writeString(d.texts[v])
+		}
+		if err := count(bw.Write([]byte{opOpen})); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(d.labels[v])); err != nil {
+			return err
+		}
+		for c := d.firstChild[v]; c != Nil; c = d.nextSibling[c] {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return count(bw.Write([]byte{opClose}))
+	}
+	// Children of the synthetic root only; the root is implicit.
+	for c := d.firstChild[0]; c != Nil; c = d.nextSibling[c] {
+		if err := walk(c); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadDocument deserializes a document written by WriteTo.
+func ReadDocument(r io.Reader) (*Document, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("tree: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("tree: bad magic %q", head)
+	}
+	readString := func() (string, error) {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if l > 1<<30 {
+			return "", fmt.Errorf("tree: unreasonable string length %d", l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	nLabels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nLabels < ReservedLabels || nLabels > 1<<24 {
+		return nil, fmt.Errorf("tree: unreasonable label count %d", nLabels)
+	}
+	b := NewBuilder()
+	names := b.Names()
+	for i := uint64(0); i < nLabels; i++ {
+		name, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		if id := names.Intern(name); uint64(id) != i {
+			return nil, fmt.Errorf("tree: label table mismatch at %d (%q)", i, name)
+		}
+	}
+	nNodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for read := uint64(1); read < nNodes; {
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case opOpen:
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if l >= nLabels {
+				return nil, fmt.Errorf("tree: label id %d out of range", l)
+			}
+			b.OpenID(LabelID(l))
+			read++
+		case opClose:
+			if b.Depth() <= 1 {
+				return nil, fmt.Errorf("tree: unbalanced close")
+			}
+			b.Close()
+		case opText:
+			s, err := readString()
+			if err != nil {
+				return nil, err
+			}
+			b.Text(s)
+			read++
+		default:
+			return nil, fmt.Errorf("tree: unknown opcode %d", op)
+		}
+	}
+	// Drain remaining closes.
+	for b.Depth() > 1 {
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("tree: truncated close stream: %w", err)
+		}
+		if op != opClose {
+			return nil, fmt.Errorf("tree: expected close, got opcode %d", op)
+		}
+		b.Close()
+	}
+	return b.Finish()
+}

@@ -1,0 +1,166 @@
+package tree_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tgen"
+	"repro/internal/tree"
+)
+
+func roundTrip(t *testing.T, d *tree.Document) *tree.Document {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	d2, err := tree.ReadDocument(&buf)
+	if err != nil {
+		t.Fatalf("ReadDocument: %v", err)
+	}
+	return d2
+}
+
+func docsEqual(a, b *tree.Document) bool {
+	if a.NumNodes() != b.NumNodes() {
+		return false
+	}
+	for v := tree.NodeID(0); int(v) < a.NumNodes(); v++ {
+		if a.LabelName(v) != b.LabelName(v) ||
+			a.Parent(v) != b.Parent(v) ||
+			a.FirstChild(v) != b.FirstChild(v) ||
+			a.NextSibling(v) != b.NextSibling(v) ||
+			a.Text(v) != b.Text(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 200, TextProb: 0.25})
+		return docsEqual(d, roundTrip(t, d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeEmpty(t *testing.T) {
+	d := tree.NewBuilder().MustFinish()
+	if !docsEqual(d, roundTrip(t, d)) {
+		t.Error("empty document round trip failed")
+	}
+}
+
+func TestSerializeTextContent(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Open("r")
+	b.Text("hello <&> world")
+	b.Text("")
+	b.Open("x")
+	b.Text("δ-trees")
+	b.Close()
+	b.Close()
+	d := b.MustFinish()
+	if !docsEqual(d, roundTrip(t, d)) {
+		t.Error("text round trip failed")
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	good := func() []byte {
+		d := tgen.Star("r", "c", 3)
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOPE" + string(good[4:])),
+		"truncated":    good[:len(good)/2],
+		"short header": good[:6],
+	}
+	for name, data := range cases {
+		if _, err := tree.ReadDocument(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// Corrupted payload bytes must yield errors or valid (possibly different)
+// documents — never panics.
+func TestDeserializeNoPanicsOnCorruption(t *testing.T) {
+	d := tgen.Random(5, tgen.Config{MaxNodes: 100, TextProb: 0.2})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := 0; i < len(data); i += 3 {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x5a
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic at mutation offset %d: %v", i, r)
+				}
+			}()
+			_, _ = tree.ReadDocument(bytes.NewReader(mutated))
+		}()
+	}
+}
+
+func TestSerializedSizeReasonable(t *testing.T) {
+	d := tgen.Random(1, tgen.Config{MaxNodes: 5000, TextProb: 0.1, MaxChildren: 6})
+	if d.NumNodes() < 500 {
+		t.Fatalf("generator produced only %d nodes; pick another seed", d.NumNodes())
+	}
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+	xml := len(d.XMLString())
+	if buf.Len() > xml {
+		t.Errorf("binary form (%d bytes) larger than XML (%d bytes)", buf.Len(), xml)
+	}
+	if !strings.HasPrefix(buf.String(), "XQO1") {
+		t.Error("magic missing")
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	d := tgen.Random(1, tgen.Config{MaxNodes: 50000, TextProb: 0.2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeserialize(b *testing.B) {
+	d := tgen.Random(1, tgen.Config{MaxNodes: 50000, TextProb: 0.2})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.ReadDocument(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

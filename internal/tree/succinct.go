@@ -1,0 +1,57 @@
+package tree
+
+import "repro/internal/bp"
+
+// Succinct is a balanced-parentheses view of a document's topology. It
+// stores no pointers — navigation is answered from the 2n-bit parenthesis
+// sequence of internal/bp — and exists to reproduce the paper's use of
+// succinct trees [18] as the memory-frugal backend. The engine proper uses
+// the flat arrays of Document (the two agree; see the property tests), so
+// Succinct doubles as an independent oracle for the pointer encoding.
+type Succinct struct {
+	bt  *bp.Tree
+	doc *Document
+}
+
+// NewSuccinct builds the parenthesis representation of d's topology.
+func NewSuccinct(d *Document) *Succinct {
+	b := bp.NewBuilder(d.NumNodes())
+	var walk func(v NodeID)
+	walk = func(v NodeID) {
+		b.Open()
+		for c := d.FirstChild(v); c != Nil; c = d.NextSibling(c) {
+			walk(c)
+		}
+		b.Close()
+	}
+	walk(d.Root())
+	return &Succinct{bt: b.Build(), doc: d}
+}
+
+// NumNodes reports the number of nodes.
+func (s *Succinct) NumNodes() int { return s.bt.NumNodes() }
+
+// Parent returns v's parent, or Nil.
+func (s *Succinct) Parent(v NodeID) NodeID { return NodeID(s.bt.Parent(int(v))) }
+
+// FirstChild returns v's first child, or Nil.
+func (s *Succinct) FirstChild(v NodeID) NodeID { return NodeID(s.bt.FirstChild(int(v))) }
+
+// NextSibling returns v's next sibling, or Nil.
+func (s *Succinct) NextSibling(v NodeID) NodeID { return NodeID(s.bt.NextSibling(int(v))) }
+
+// LastDesc returns the last preorder node of v's subtree.
+func (s *Succinct) LastDesc(v NodeID) NodeID { return NodeID(s.bt.LastDescendant(int(v))) }
+
+// Depth returns v's depth (root = 0).
+func (s *Succinct) Depth(v NodeID) int { return s.bt.Depth(int(v)) }
+
+// IsAncestorOrSelf reports whether a is v or an ancestor of v.
+func (s *Succinct) IsAncestorOrSelf(a, v NodeID) bool { return s.bt.IsAncestor(int(a), int(v)) }
+
+// LCA returns the lowest common ancestor of u and v.
+func (s *Succinct) LCA(u, v NodeID) NodeID { return NodeID(s.bt.LCA(int(u), int(v))) }
+
+// Label returns the label of v (delegated to the document's label array;
+// labels are not part of the parenthesis sequence).
+func (s *Succinct) Label(v NodeID) LabelID { return s.doc.Label(v) }

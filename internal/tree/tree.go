@@ -1,0 +1,320 @@
+// Package tree implements the XML document model used throughout the
+// engine: an ordinal tree over interned labels, stored in flat preorder
+// arrays, together with the "first-child/next-sibling" binary-tree view
+// (§2 of the paper) on which the selecting tree automata run.
+//
+// Nodes are identified by their preorder rank (NodeID); the subtree of v is
+// the contiguous preorder interval [v, LastDesc(v)], which is what makes the
+// jumping functions of internal/index cheap.
+//
+// Node 0 is always a synthetic document root labeled "#doc" whose single
+// element child is the document element; this mirrors the XPath data model
+// where "/" addresses the document node, not the root element. Text nodes
+// carry the reserved label "#text" and attributes are encoded as children
+// labeled "@name" holding one text child (the convention of reference [1]).
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node by its 0-based preorder rank.
+type NodeID int32
+
+// Nil is the absent node; it plays the role of the binary-tree leaf symbol
+// "#" in the paper.
+const Nil NodeID = -1
+
+// LabelID is an interned label.
+type LabelID int32
+
+// Reserved labels present in every label table.
+const (
+	LabelDoc  LabelID = 0 // "#doc", the synthetic document root
+	LabelText LabelID = 1 // "#text", text nodes
+)
+
+// ReservedLabels is the number of pre-interned labels.
+const ReservedLabels = 2
+
+// LabelTable interns element names to dense integer ids.
+type LabelTable struct {
+	names []string
+	ids   map[string]LabelID
+}
+
+// NewLabelTable returns a table seeded with the reserved labels.
+func NewLabelTable() *LabelTable {
+	lt := &LabelTable{ids: make(map[string]LabelID)}
+	lt.Intern("#doc")
+	lt.Intern("#text")
+	return lt
+}
+
+// Intern returns the id for name, creating it if needed.
+func (lt *LabelTable) Intern(name string) LabelID {
+	if id, ok := lt.ids[name]; ok {
+		return id
+	}
+	id := LabelID(len(lt.names))
+	lt.names = append(lt.names, name)
+	lt.ids[name] = id
+	return id
+}
+
+// Lookup returns the id for name without interning; ok is false if the
+// label does not occur in the table.
+func (lt *LabelTable) Lookup(name string) (LabelID, bool) {
+	id, ok := lt.ids[name]
+	return id, ok
+}
+
+// Name returns the string for a label id.
+func (lt *LabelTable) Name(id LabelID) string { return lt.names[id] }
+
+// Size reports the number of distinct labels (the alphabet size |Σ|).
+func (lt *LabelTable) Size() int { return len(lt.names) }
+
+// Names returns a copy of all label names in id order.
+func (lt *LabelTable) Names() []string {
+	out := make([]string, len(lt.names))
+	copy(out, lt.names)
+	return out
+}
+
+// Document is an immutable XML document tree.
+type Document struct {
+	labels      []LabelID
+	parent      []NodeID
+	firstChild  []NodeID
+	nextSibling []NodeID
+	lastDesc    []NodeID // last preorder node of the subtree
+	depth       []int32
+	texts       map[NodeID]string
+	names       *LabelTable
+}
+
+// Builder constructs a Document from open/text/close events.
+type Builder struct {
+	doc   *Document
+	stack []NodeID
+	prev  []NodeID // last closed child per stack level, for sibling links
+}
+
+// NewBuilder returns a builder whose document already contains the
+// synthetic "#doc" root (open); Finish closes it.
+func NewBuilder() *Builder {
+	b := &Builder{
+		doc: &Document{
+			names: NewLabelTable(),
+			texts: make(map[NodeID]string),
+		},
+	}
+	b.open(LabelDoc)
+	return b
+}
+
+// Names exposes the label table so callers can intern labels up front.
+func (b *Builder) Names() *LabelTable { return b.doc.names }
+
+func (b *Builder) open(l LabelID) NodeID {
+	d := b.doc
+	v := NodeID(len(d.labels))
+	d.labels = append(d.labels, l)
+	d.parent = append(d.parent, Nil)
+	d.firstChild = append(d.firstChild, Nil)
+	d.nextSibling = append(d.nextSibling, Nil)
+	d.lastDesc = append(d.lastDesc, v)
+	d.depth = append(d.depth, int32(len(b.stack)))
+	if len(b.stack) > 0 {
+		p := b.stack[len(b.stack)-1]
+		d.parent[v] = p
+		if d.firstChild[p] == Nil {
+			d.firstChild[p] = v
+		} else {
+			d.nextSibling[b.prev[len(b.stack)-1]] = v
+		}
+	}
+	b.stack = append(b.stack, v)
+	b.prev = append(b.prev, Nil)
+	return v
+}
+
+// Open starts a new element with the given name.
+func (b *Builder) Open(name string) NodeID {
+	return b.open(b.doc.names.Intern(name))
+}
+
+// OpenID starts a new element with a pre-interned label.
+func (b *Builder) OpenID(l LabelID) NodeID { return b.open(l) }
+
+// Text appends a text-node child with the given content.
+func (b *Builder) Text(content string) NodeID {
+	v := b.open(LabelText)
+	b.doc.texts[v] = content
+	b.close()
+	return v
+}
+
+// Close ends the current element.
+func (b *Builder) Close() { b.close() }
+
+func (b *Builder) close() {
+	v := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.prev = b.prev[:len(b.prev)-1]
+	b.doc.lastDesc[v] = NodeID(len(b.doc.labels) - 1)
+	if len(b.prev) > 0 {
+		b.prev[len(b.prev)-1] = v
+	}
+}
+
+// Depth reports the current element nesting depth (the synthetic root
+// counts as 1).
+func (b *Builder) Depth() int { return len(b.stack) }
+
+// Finish closes the synthetic root and returns the completed document.
+// The builder must not be used afterwards.
+func (b *Builder) Finish() (*Document, error) {
+	if len(b.stack) != 1 {
+		return nil, fmt.Errorf("tree: %d unclosed elements at Finish", len(b.stack)-1)
+	}
+	b.close()
+	d := b.doc
+	b.doc = nil
+	return d, nil
+}
+
+// MustFinish is Finish that panics on error; for tests and generators that
+// construct documents programmatically.
+func (b *Builder) MustFinish() *Document {
+	d, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// --- Accessors ---
+
+// NumNodes reports the total number of nodes including the synthetic root.
+func (d *Document) NumNodes() int { return len(d.labels) }
+
+// Root returns the synthetic document root (always node 0).
+func (d *Document) Root() NodeID { return 0 }
+
+// DocumentElement returns the root element of the document (first child of
+// the synthetic root), or Nil for an empty document.
+func (d *Document) DocumentElement() NodeID { return d.firstChild[0] }
+
+// Label returns the label of v.
+func (d *Document) Label(v NodeID) LabelID { return d.labels[v] }
+
+// LabelName returns the label of v as a string.
+func (d *Document) LabelName(v NodeID) string { return d.names.Name(d.labels[v]) }
+
+// Names returns the document's label table.
+func (d *Document) Names() *LabelTable { return d.names }
+
+// Parent returns v's parent, or Nil for the root.
+func (d *Document) Parent(v NodeID) NodeID { return d.parent[v] }
+
+// FirstChild returns v's first child, or Nil.
+func (d *Document) FirstChild(v NodeID) NodeID { return d.firstChild[v] }
+
+// NextSibling returns v's next sibling, or Nil.
+func (d *Document) NextSibling(v NodeID) NodeID { return d.nextSibling[v] }
+
+// LastDesc returns the last node of v's subtree in preorder (v itself for
+// leaves). The subtree of v is exactly the interval [v, LastDesc(v)].
+func (d *Document) LastDesc(v NodeID) NodeID { return d.lastDesc[v] }
+
+// Depth returns the depth of v; the synthetic root has depth 0.
+func (d *Document) Depth(v NodeID) int { return int(d.depth[v]) }
+
+// Text returns the text content of a #text node (empty for others).
+func (d *Document) Text(v NodeID) string { return d.texts[v] }
+
+// IsAncestorOrSelf reports whether a is v or an ancestor of v.
+func (d *Document) IsAncestorOrSelf(a, v NodeID) bool {
+	return a <= v && v <= d.lastDesc[a]
+}
+
+// SubtreeSize returns the number of nodes in v's subtree.
+func (d *Document) SubtreeSize(v NodeID) int {
+	return int(d.lastDesc[v]-v) + 1
+}
+
+// --- Binary-tree (first-child/next-sibling) view, §2 of the paper. ---
+// Left child of v is FirstChild(v); right child is NextSibling(v); the
+// binary leaf "#" is Nil. The binary tree of a document rooted at node 0
+// has exactly the document's nodes as internal binary nodes.
+
+// BinaryLeft returns the left child of v in the fcns encoding.
+func (d *Document) BinaryLeft(v NodeID) NodeID { return d.firstChild[v] }
+
+// BinaryRight returns the right child of v in the fcns encoding.
+func (d *Document) BinaryRight(v NodeID) NodeID { return d.nextSibling[v] }
+
+// WriteXML serializes the subtree rooted at v (or the whole document if v
+// is the synthetic root) back to XML-ish text; used for round-trip tests
+// and debugging. Text is emitted raw with minimal escaping.
+func (d *Document) WriteXML(sb *strings.Builder, v NodeID) {
+	if d.labels[v] == LabelText {
+		sb.WriteString(escapeText(d.texts[v]))
+		return
+	}
+	synthetic := d.labels[v] == LabelDoc
+	if !synthetic {
+		sb.WriteByte('<')
+		sb.WriteString(d.LabelName(v))
+		sb.WriteByte('>')
+	}
+	for c := d.firstChild[v]; c != Nil; c = d.nextSibling[c] {
+		d.WriteXML(sb, c)
+	}
+	if !synthetic {
+		sb.WriteString("</")
+		sb.WriteString(d.LabelName(v))
+		sb.WriteByte('>')
+	}
+}
+
+// XMLString returns the serialized document.
+func (d *Document) XMLString() string {
+	var sb strings.Builder
+	d.WriteXML(&sb, d.Root())
+	return sb.String()
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Path returns the slash-separated label path from the root element to v;
+// for error messages and debugging.
+func (d *Document) Path(v NodeID) string {
+	var parts []string
+	for v != Nil && d.labels[v] != LabelDoc {
+		parts = append(parts, d.LabelName(v))
+		v = d.parent[v]
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// CountLabel returns the number of nodes carrying label l; O(n), intended
+// for tests (internal/index answers this in O(1)).
+func (d *Document) CountLabel(l LabelID) int {
+	n := 0
+	for _, x := range d.labels {
+		if x == l {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+package tree_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tgen"
+	"repro/internal/tree"
+)
+
+func TestEmptyDocument(t *testing.T) {
+	d := tree.NewBuilder().MustFinish()
+	if d.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1 (synthetic root)", d.NumNodes())
+	}
+	if d.Label(d.Root()) != tree.LabelDoc {
+		t.Errorf("root label = %d, want #doc", d.Label(d.Root()))
+	}
+	if d.DocumentElement() != tree.Nil {
+		t.Errorf("DocumentElement = %d, want Nil", d.DocumentElement())
+	}
+}
+
+func TestSmallDocument(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Open("r")
+	b.Open("a")
+	b.Text("hello")
+	b.Close()
+	b.Open("b")
+	b.Close()
+	b.Close()
+	d := b.MustFinish()
+
+	if d.NumNodes() != 5 { // #doc, r, a, #text, b
+		t.Fatalf("NumNodes = %d, want 5", d.NumNodes())
+	}
+	r := d.DocumentElement()
+	if d.LabelName(r) != "r" {
+		t.Errorf("document element = %q, want r", d.LabelName(r))
+	}
+	a := d.FirstChild(r)
+	if d.LabelName(a) != "a" {
+		t.Errorf("first child = %q, want a", d.LabelName(a))
+	}
+	txt := d.FirstChild(a)
+	if d.Label(txt) != tree.LabelText || d.Text(txt) != "hello" {
+		t.Errorf("text node wrong: label=%d text=%q", d.Label(txt), d.Text(txt))
+	}
+	bNode := d.NextSibling(a)
+	if d.LabelName(bNode) != "b" {
+		t.Errorf("sibling = %q, want b", d.LabelName(bNode))
+	}
+	if d.NextSibling(bNode) != tree.Nil {
+		t.Errorf("b should have no next sibling")
+	}
+	if d.Parent(a) != r || d.Parent(bNode) != r {
+		t.Errorf("parent links wrong")
+	}
+	if d.LastDesc(r) != bNode {
+		t.Errorf("LastDesc(r) = %d, want %d", d.LastDesc(r), bNode)
+	}
+	if d.Depth(txt) != 3 {
+		t.Errorf("Depth(text) = %d, want 3", d.Depth(txt))
+	}
+}
+
+func TestFinishErrorsOnUnclosed(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Open("r")
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish with open element should error")
+	}
+}
+
+func TestXMLStringRoundTripShape(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Open("r")
+	b.Open("x")
+	b.Text("1<2")
+	b.Close()
+	b.Close()
+	d := b.MustFinish()
+	want := "<r><x>1&lt;2</x></r>"
+	if got := d.XMLString(); got != want {
+		t.Errorf("XMLString = %q, want %q", got, want)
+	}
+}
+
+func TestPath(t *testing.T) {
+	b := tree.NewBuilder()
+	b.Open("r")
+	b.Open("x")
+	y := b.Open("y")
+	b.Close()
+	b.Close()
+	b.Close()
+	d := b.MustFinish()
+	if got := d.Path(y); got != "/r/x/y" {
+		t.Errorf("Path = %q, want /r/x/y", got)
+	}
+}
+
+func TestLabelTable(t *testing.T) {
+	lt := tree.NewLabelTable()
+	if lt.Size() != tree.ReservedLabels {
+		t.Fatalf("fresh table size = %d", lt.Size())
+	}
+	a := lt.Intern("a")
+	if a2 := lt.Intern("a"); a2 != a {
+		t.Errorf("re-intern gave different id")
+	}
+	if id, ok := lt.Lookup("a"); !ok || id != a {
+		t.Errorf("Lookup(a) = %d,%v", id, ok)
+	}
+	if _, ok := lt.Lookup("zz"); ok {
+		t.Errorf("Lookup of unknown label succeeded")
+	}
+	if lt.Name(a) != "a" {
+		t.Errorf("Name round-trip failed")
+	}
+	names := lt.Names()
+	if names[int(a)] != "a" {
+		t.Errorf("Names() wrong: %v", names)
+	}
+}
+
+// Property: preorder interval [v, LastDesc(v)] contains exactly the nodes
+// reachable from v by child edges.
+func TestSubtreeIntervalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 150, TextProb: 0.2})
+		n := tree.NodeID(d.NumNodes())
+		var reach func(v tree.NodeID, set map[tree.NodeID]bool)
+		reach = func(v tree.NodeID, set map[tree.NodeID]bool) {
+			set[v] = true
+			for c := d.FirstChild(v); c != tree.Nil; c = d.NextSibling(c) {
+				reach(c, set)
+			}
+		}
+		for v := tree.NodeID(0); v < n; v++ {
+			set := make(map[tree.NodeID]bool)
+			reach(v, set)
+			if len(set) != d.SubtreeSize(v) {
+				return false
+			}
+			for u := range set {
+				if u < v || u > d.LastDesc(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the succinct (balanced-parentheses) view agrees with the
+// pointer arrays on every navigation operation.
+func TestSuccinctAgreesWithArrays(t *testing.T) {
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 300, TextProb: 0.15})
+		s := tree.NewSuccinct(d)
+		if s.NumNodes() != d.NumNodes() {
+			return false
+		}
+		for v := tree.NodeID(0); int(v) < d.NumNodes(); v++ {
+			if s.Parent(v) != d.Parent(v) ||
+				s.FirstChild(v) != d.FirstChild(v) ||
+				s.NextSibling(v) != d.NextSibling(v) ||
+				s.LastDesc(v) != d.LastDesc(v) ||
+				s.Depth(v) != d.Depth(v) ||
+				s.Label(v) != d.Label(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuccinctLCA(t *testing.T) {
+	d := tgen.Random(77, tgen.Config{MaxNodes: 200})
+	s := tree.NewSuccinct(d)
+	rng := rand.New(rand.NewSource(5))
+	naiveLCA := func(u, v tree.NodeID) tree.NodeID {
+		anc := make(map[tree.NodeID]bool)
+		for x := u; x != tree.Nil; x = d.Parent(x) {
+			anc[x] = true
+		}
+		for x := v; x != tree.Nil; x = d.Parent(x) {
+			if anc[x] {
+				return x
+			}
+		}
+		return tree.Nil
+	}
+	for i := 0; i < 500; i++ {
+		u := tree.NodeID(rng.Intn(d.NumNodes()))
+		v := tree.NodeID(rng.Intn(d.NumNodes()))
+		if got, want := s.LCA(u, v), naiveLCA(u, v); got != want {
+			t.Fatalf("LCA(%d,%d) = %d, want %d", u, v, got, want)
+		}
+	}
+}
+
+// Property: binary-tree view is the fcns encoding: BinaryLeft==FirstChild,
+// BinaryRight==NextSibling, and the binary tree spans all nodes.
+func TestBinaryViewSpansAllNodes(t *testing.T) {
+	d := tgen.Random(13, tgen.Config{MaxNodes: 400, TextProb: 0.1})
+	seen := make(map[tree.NodeID]bool)
+	var walk func(v tree.NodeID)
+	walk = func(v tree.NodeID) {
+		if v == tree.Nil {
+			return
+		}
+		if seen[v] {
+			t.Fatalf("node %d visited twice in binary walk", v)
+		}
+		seen[v] = true
+		walk(d.BinaryLeft(v))
+		walk(d.BinaryRight(v))
+	}
+	walk(d.Root())
+	if len(seen) != d.NumNodes() {
+		t.Errorf("binary walk saw %d nodes, want %d", len(seen), d.NumNodes())
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	chain := tgen.Chain("a", 10)
+	if chain.NumNodes() != 11 {
+		t.Errorf("Chain nodes = %d, want 11", chain.NumNodes())
+	}
+	if chain.Depth(tree.NodeID(10)) != 10 {
+		t.Errorf("chain depth wrong")
+	}
+	star := tgen.Star("r", "c", 5)
+	if star.NumNodes() != 7 {
+		t.Errorf("Star nodes = %d, want 7", star.NumNodes())
+	}
+	bal := tgen.Balanced([]string{"a", "b"}, 2, 3)
+	if bal.NumNodes() != 1+15 { // #doc + complete binary tree of depth 3
+		t.Errorf("Balanced nodes = %d, want 16", bal.NumNodes())
+	}
+	// Determinism of Random.
+	d1 := tgen.Random(99, tgen.Config{})
+	d2 := tgen.Random(99, tgen.Config{})
+	if d1.XMLString() != d2.XMLString() {
+		t.Errorf("Random is not deterministic for equal seeds")
+	}
+}
+
+func TestCountLabel(t *testing.T) {
+	d := tgen.Star("r", "c", 7)
+	c, _ := d.Names().Lookup("c")
+	if got := d.CountLabel(c); got != 7 {
+		t.Errorf("CountLabel(c) = %d, want 7", got)
+	}
+}
+
+func TestXMLStringContainsNoDocTag(t *testing.T) {
+	d := tgen.Star("r", "c", 2)
+	if strings.Contains(d.XMLString(), "#doc") {
+		t.Error("synthetic root leaked into serialization")
+	}
+}

@@ -1,0 +1,183 @@
+package xmark
+
+import "repro/internal/tree"
+
+// Figure 5 of the paper evaluates //listitem//keyword//emph on four
+// manually crafted documents whose listitem/keyword/emph counts and
+// placement control which evaluation strategy wins. The constructors
+// below reproduce those configurations; scale 1.0 uses the paper's exact
+// counts, smaller scales keep the ratios.
+
+// Fig5Config identifies one of the four configurations.
+type Fig5Config struct {
+	// Name is "A".."D".
+	Name string
+	// Description quotes the paper's characterization.
+	Description string
+	// Build constructs the document at the given scale.
+	Build func(scale float64) *tree.Document
+}
+
+// Fig5Configs returns the four configurations in order.
+func Fig5Configs() []Fig5Config {
+	return []Fig5Config{
+		{
+			Name: "A",
+			Description: "75021 listitem, 3 keyword below listitems (3 in total) " +
+				"and 4 emph below those 3 keywords",
+			Build: buildConfigA,
+		},
+		{
+			Name: "B",
+			Description: "75021 listitem, 60234 keyword below listitems (60234 in " +
+				"total) and 4 emph below those keywords",
+			Build: buildConfigB,
+		},
+		{
+			Name: "C",
+			Description: "9083 listitem, one keyword below listitems (40493 in " +
+				"total) and 65831 emph below the one keyword below a listitem",
+			Build: buildConfigC,
+		},
+		{
+			Name: "D",
+			Description: "20304 listitem, 10209 keyword below one listitem (10209 " +
+				"in total) and 15074 emph below one of those keywords",
+			Build: buildConfigD,
+		},
+	}
+}
+
+func scaleN(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// buildConfigA: huge flat listitem population, 3 keywords, 4 emphs.
+func buildConfigA(scale float64) *tree.Document {
+	nLI := scaleN(75021, scale)
+	b := tree.NewBuilder()
+	b.Open("site")
+	// 3 keyword-bearing listitems spread through the population.
+	special := map[int]int{nLI / 4: 2, nLI / 2: 1, 3 * nLI / 4: 1} // emphs per keyword
+	if nLI < 8 {
+		special = map[int]int{0: 4}
+	}
+	for i := 0; i < nLI; i++ {
+		b.Open("listitem")
+		if emphs, ok := special[i]; ok {
+			b.Open("keyword")
+			for e := 0; e < emphs; e++ {
+				b.Open("emph")
+				b.Close()
+			}
+			b.Close()
+		} else {
+			b.Open("text")
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.MustFinish()
+}
+
+// buildConfigB: many listitems, most with a keyword child; only 4 emphs.
+func buildConfigB(scale float64) *tree.Document {
+	nLI := scaleN(75021, scale)
+	nKW := scaleN(60234, scale)
+	b := tree.NewBuilder()
+	b.Open("site")
+	emphAt := map[int]bool{0: true, nKW / 4: true, nKW / 2: true, 3 * nKW / 4: true}
+	kw := 0
+	for i := 0; i < nLI; i++ {
+		b.Open("listitem")
+		if kw < nKW && i%5 != 4 { // ~4/5 of listitems carry a keyword
+			b.Open("keyword")
+			if emphAt[kw] {
+				b.Open("emph")
+				b.Close()
+			}
+			b.Close()
+			kw++
+		}
+		b.Close()
+	}
+	// Any remaining keywords (rounding) go under the last listitem.
+	if kw < nKW {
+		b.Open("listitem")
+		for ; kw < nKW; kw++ {
+			b.Open("keyword")
+			if emphAt[kw] {
+				b.Open("emph")
+				b.Close()
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.MustFinish()
+}
+
+// buildConfigC: moderate listitems; many keywords but only one under a
+// listitem, and that one holds a huge emph population.
+func buildConfigC(scale float64) *tree.Document {
+	nLI := scaleN(9083, scale)
+	nKW := scaleN(40493, scale)
+	nEmph := scaleN(65831, scale)
+	b := tree.NewBuilder()
+	b.Open("site")
+	// Keywords outside listitems.
+	b.Open("free")
+	for i := 0; i < nKW-1; i++ {
+		b.Open("keyword")
+		b.Close()
+	}
+	b.Close()
+	for i := 0; i < nLI; i++ {
+		b.Open("listitem")
+		if i == nLI/2 {
+			b.Open("keyword")
+			for e := 0; e < nEmph; e++ {
+				b.Open("emph")
+				b.Close()
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.MustFinish()
+}
+
+// buildConfigD: keywords have the lowest count but close to listitems;
+// all keywords under one listitem, emphs under one keyword.
+func buildConfigD(scale float64) *tree.Document {
+	nLI := scaleN(20304, scale)
+	nKW := scaleN(10209, scale)
+	nEmph := scaleN(15074, scale)
+	b := tree.NewBuilder()
+	b.Open("site")
+	for i := 0; i < nLI-1; i++ {
+		b.Open("listitem")
+		b.Close()
+	}
+	b.Open("listitem")
+	for k := 0; k < nKW; k++ {
+		b.Open("keyword")
+		if k == nKW/2 {
+			for e := 0; e < nEmph; e++ {
+				b.Open("emph")
+				b.Close()
+			}
+		}
+		b.Close()
+	}
+	b.Close()
+	b.Close()
+	return b.MustFinish()
+}

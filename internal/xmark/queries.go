@@ -1,0 +1,34 @@
+package xmark
+
+// Query pairs a paper query id with its XPath text.
+type Query struct {
+	ID    string
+	XPath string
+}
+
+// Queries returns the fifteen tree queries of Figure 2. Q01–Q09 are the
+// realistic XPathMark queries; Q10–Q15 stress the automata logic. (The
+// paper prints "closed auction" with a space — an artifact of its
+// typesetting; XMark's element names use underscores.)
+func Queries() []Query {
+	return []Query{
+		{"Q01", "/site/regions"},
+		{"Q02", "/site/regions/europe/item/mailbox/mail/text/keyword"},
+		{"Q03", "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem"},
+		{"Q04", "/site/regions/*/item"},
+		{"Q05", "//listitem//keyword"},
+		{"Q06", "/site/regions/*/item//keyword"},
+		{"Q07", "/site/people/person[ address and (phone or homepage) ]"},
+		{"Q08", "//listitem[ .//keyword and .//emph]//parlist"},
+		{"Q09", "/site/regions/*/item[ mailbox/mail/date ]/mailbox/mail"},
+		{"Q10", "/site[ .//keyword]"},
+		{"Q11", "/site//keyword"},
+		{"Q12", "/site[ .//keyword ]//keyword"},
+		{"Q13", "/site[ .//keyword or .//keyword/emph ]//keyword"},
+		{"Q14", "/site[ .//keyword//emph ]/descendant::keyword"},
+		{"Q15", "/site[ .//*//* ]//keyword"},
+	}
+}
+
+// HybridQuery is the query of the Figure 5 experiment.
+const HybridQuery = "//listitem//keyword//emph"

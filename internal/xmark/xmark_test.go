@@ -1,0 +1,166 @@
+package xmark_test
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/stepwise"
+	"repro/internal/tree"
+	"repro/internal/xmark"
+	"repro/internal/xpath"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := xmark.Config{Scale: 0.002, Seed: 7}
+	d1 := xmark.Generate(cfg)
+	d2 := xmark.Generate(cfg)
+	if d1.NumNodes() != d2.NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", d1.NumNodes(), d2.NumNodes())
+	}
+	if d1.XMLString() != d2.XMLString() {
+		t.Error("generation is not deterministic")
+	}
+	d3 := xmark.Generate(xmark.Config{Scale: 0.002, Seed: 8})
+	if d1.XMLString() == d3.XMLString() {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestScaleGrowsLinearly(t *testing.T) {
+	small := xmark.Generate(xmark.Config{Scale: 0.002, Seed: 1})
+	big := xmark.Generate(xmark.Config{Scale: 0.008, Seed: 1})
+	ratio := float64(big.NumNodes()) / float64(small.NumNodes())
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("4x scale gave %.1fx nodes (small=%d big=%d)", ratio, small.NumNodes(), big.NumNodes())
+	}
+}
+
+func TestStructure(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.005, Seed: 3})
+	root := d.DocumentElement()
+	if d.LabelName(root) != "site" {
+		t.Fatalf("root = %s", d.LabelName(root))
+	}
+	var tops []string
+	for c := d.FirstChild(root); c != tree.Nil; c = d.NextSibling(c) {
+		tops = append(tops, d.LabelName(c))
+	}
+	want := []string{"regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"}
+	if len(tops) != len(want) {
+		t.Fatalf("top-level children = %v", tops)
+	}
+	for i := range want {
+		if tops[i] != want[i] {
+			t.Errorf("child %d = %s, want %s", i, tops[i], want[i])
+		}
+	}
+}
+
+// TestAllQueriesHaveMatches: every paper query (except none) selects a
+// non-empty result on a generated document, so the experiments measure
+// real work.
+func TestAllQueriesHaveMatches(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.01, Seed: 1})
+	for _, q := range xmark.Queries() {
+		res, err := stepwise.EvalString(d, q.XPath, stepwise.Default())
+		if err != nil {
+			t.Errorf("%s: %v", q.ID, err)
+			continue
+		}
+		if len(res.Selected) == 0 {
+			t.Errorf("%s (%s) selected nothing at scale 0.01", q.ID, q.XPath)
+		}
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	for _, q := range xmark.Queries() {
+		if _, err := xpath.Parse(q.XPath); err != nil {
+			t.Errorf("%s: %v", q.ID, err)
+		}
+	}
+	if _, err := xpath.Parse(xmark.HybridQuery); err != nil {
+		t.Errorf("hybrid query: %v", err)
+	}
+}
+
+// TestFig5Counts verifies the label populations of the four
+// configurations match the paper's description (at scale 1 for the
+// selected-node counts, scaled down for CI speed on the rest).
+func TestFig5Counts(t *testing.T) {
+	for _, cfg := range xmark.Fig5Configs() {
+		d := cfg.Build(0.01)
+		ix := index.New(d)
+		li, _ := d.Names().Lookup("listitem")
+		kw, _ := d.Names().Lookup("keyword")
+		em, _ := d.Names().Lookup("emph")
+		nLI, nKW, nEM := ix.Count(li), ix.Count(kw), ix.Count(em)
+		res, err := stepwise.EvalString(d, xmark.HybridQuery, stepwise.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := len(res.Selected)
+		switch cfg.Name {
+		case "A":
+			if nKW > 5 || sel != 4 {
+				t.Errorf("A: keywords=%d selected=%d, want ≤5 keywords and 4 selected", nKW, sel)
+			}
+			if nLI < 500 {
+				t.Errorf("A: listitems=%d too few", nLI)
+			}
+		case "B":
+			if nEM != 4 || sel != 4 {
+				t.Errorf("B: emphs=%d selected=%d, want 4/4", nEM, sel)
+			}
+			if nKW < 400 {
+				t.Errorf("B: keywords=%d too few", nKW)
+			}
+		case "C":
+			if sel != nEM {
+				t.Errorf("C: selected=%d emphs=%d, want all emphs selected", sel, nEM)
+			}
+			// Only one keyword lies below a listitem.
+			withLI, err := stepwise.EvalString(d, "//listitem//keyword", stepwise.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(withLI.Selected) != 1 {
+				t.Errorf("C: keywords below listitems = %d, want 1", len(withLI.Selected))
+			}
+		case "D":
+			if sel != nEM {
+				t.Errorf("D: selected=%d emphs=%d", sel, nEM)
+			}
+			if nKW >= nLI {
+				t.Errorf("D: keyword count %d should be below listitem count %d", nKW, nLI)
+			}
+		}
+	}
+}
+
+func TestFig5ExactCountsAtScale1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-1 configs are large")
+	}
+	cfgs := xmark.Fig5Configs()
+	a := cfgs[0].Build(1.0)
+	ix := index.New(a)
+	li, _ := a.Names().Lookup("listitem")
+	kw, _ := a.Names().Lookup("keyword")
+	if ix.Count(li) != 75021 {
+		t.Errorf("A listitems = %d, want 75021", ix.Count(li))
+	}
+	if ix.Count(kw) != 3 {
+		t.Errorf("A keywords = %d, want 3", ix.Count(kw))
+	}
+	em, _ := a.Names().Lookup("emph")
+	if ix.Count(em) != 4 {
+		t.Errorf("A emphs = %d, want 4", ix.Count(em))
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = xmark.Generate(xmark.Config{Scale: 0.01, Seed: 1})
+	}
+}

@@ -1,0 +1,95 @@
+package xmlparse_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tgen"
+	"repro/internal/tree"
+	"repro/internal/xmlparse"
+)
+
+// TestNoPanicOnMutatedInput: byte-level corruption of well-formed
+// documents must produce errors or alternative parses, never panics —
+// the poor man's fuzzer for the offline environment.
+func TestNoPanicOnMutatedInput(t *testing.T) {
+	base := []byte(tgen.Random(3, tgen.Config{MaxNodes: 80, TextProb: 0.3}).XMLString())
+	rng := rand.New(rand.NewSource(1))
+	mutants := [][]byte{}
+	// Single byte flips across the document.
+	for i := 0; i < len(base); i += 2 {
+		m := append([]byte(nil), base...)
+		m[i] ^= byte(1 + rng.Intn(255))
+		mutants = append(mutants, m)
+	}
+	// Truncations.
+	for i := 0; i < len(base); i += 7 {
+		mutants = append(mutants, base[:i])
+	}
+	// Random garbage.
+	for i := 0; i < 50; i++ {
+		g := make([]byte, rng.Intn(64))
+		rng.Read(g)
+		mutants = append(mutants, g)
+	}
+	// Pathological nesting and entity soup.
+	mutants = append(mutants,
+		[]byte("<a><a><a><a>"),
+		[]byte("<a>&#xFFFFFFFFFFFF;</a>"),
+		[]byte("<a>&unterminated</a>"),
+		[]byte("<a b=<c>/></a>"),
+		[]byte("<!DOCTYPE [[[[ <a/>"),
+		[]byte("<?xml <a/>"),
+		[]byte("<![CDATA[<a/>]]>"),
+	)
+	for i, m := range mutants {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutant %d (%q) panicked: %v", i, truncate(m), r)
+				}
+			}()
+			_, _ = xmlparse.Parse(m)
+		}()
+	}
+}
+
+func truncate(b []byte) string {
+	if len(b) > 60 {
+		b = b[:60]
+	}
+	return string(b)
+}
+
+// TestParseValidAfterMutation: whatever mutants still parse must produce
+// structurally sound documents (parent/child links consistent).
+func TestParseValidAfterMutation(t *testing.T) {
+	base := []byte(tgen.Random(4, tgen.Config{MaxNodes: 60, TextProb: 0.2}).XMLString())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		m := append([]byte(nil), base...)
+		m[rng.Intn(len(m))] ^= byte(1 + rng.Intn(255))
+		d, err := xmlparse.Parse(m)
+		if err != nil {
+			continue
+		}
+		// Structural soundness: every non-root node's parent lists it
+		// among its children.
+		for v := tree.NodeID(1); int(v) < d.NumNodes(); v++ {
+			p := d.Parent(v)
+			if p < 0 || p >= v {
+				t.Fatalf("mutant %d: node %d has bad parent %d", i, v, p)
+			}
+			found := false
+			for c := d.FirstChild(p); c != tree.Nil; c = d.NextSibling(c) {
+				if c == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("mutant %d: node %d missing from parent's child list", i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package xmlparse_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tgen"
+	"repro/internal/tree"
+	"repro/internal/xmlparse"
+)
+
+func mustParse(t *testing.T, src string) *tree.Document {
+	t.Helper()
+	d, err := xmlparse.ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", src, err)
+	}
+	return d
+}
+
+func TestMinimal(t *testing.T) {
+	d := mustParse(t, "<a/>")
+	if d.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", d.NumNodes())
+	}
+	if d.LabelName(d.DocumentElement()) != "a" {
+		t.Errorf("root element = %q", d.LabelName(d.DocumentElement()))
+	}
+}
+
+func TestNested(t *testing.T) {
+	d := mustParse(t, "<a><b><c/></b><b/></a>")
+	a := d.DocumentElement()
+	b1 := d.FirstChild(a)
+	c := d.FirstChild(b1)
+	b2 := d.NextSibling(b1)
+	if d.LabelName(b1) != "b" || d.LabelName(c) != "c" || d.LabelName(b2) != "b" {
+		t.Errorf("structure wrong: %s %s %s", d.LabelName(b1), d.LabelName(c), d.LabelName(b2))
+	}
+	if d.NextSibling(b2) != tree.Nil {
+		t.Errorf("unexpected extra sibling")
+	}
+}
+
+func TestText(t *testing.T) {
+	d := mustParse(t, "<a>hello <b>world</b>!</a>")
+	a := d.DocumentElement()
+	t1 := d.FirstChild(a)
+	if d.Label(t1) != tree.LabelText || d.Text(t1) != "hello " {
+		t.Errorf("first text node: %q", d.Text(t1))
+	}
+	b := d.NextSibling(t1)
+	if d.LabelName(b) != "b" {
+		t.Errorf("expected b element")
+	}
+	t2 := d.NextSibling(b)
+	if d.Text(t2) != "!" {
+		t.Errorf("trailing text: %q", d.Text(t2))
+	}
+}
+
+func TestWhitespaceOnlyTextDropped(t *testing.T) {
+	d := mustParse(t, "<a>\n  <b/>\n</a>")
+	a := d.DocumentElement()
+	b := d.FirstChild(a)
+	if d.LabelName(b) != "b" || d.NextSibling(b) != tree.Nil {
+		t.Errorf("whitespace-only text should be dropped")
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	d := mustParse(t, `<a x="1" y='two'><b z="3"/></a>`)
+	a := d.DocumentElement()
+	x := d.FirstChild(a)
+	if d.LabelName(x) != "@x" {
+		t.Fatalf("first child = %q, want @x", d.LabelName(x))
+	}
+	if d.Text(d.FirstChild(x)) != "1" {
+		t.Errorf("@x value = %q", d.Text(d.FirstChild(x)))
+	}
+	y := d.NextSibling(x)
+	if d.LabelName(y) != "@y" || d.Text(d.FirstChild(y)) != "two" {
+		t.Errorf("@y wrong")
+	}
+	b := d.NextSibling(y)
+	z := d.FirstChild(b)
+	if d.LabelName(z) != "@z" || d.Text(d.FirstChild(z)) != "3" {
+		t.Errorf("@z wrong")
+	}
+}
+
+func TestEntities(t *testing.T) {
+	d := mustParse(t, `<a p="&lt;&amp;&gt;">&lt;x&gt; &#65;&#x42;</a>`)
+	a := d.DocumentElement()
+	p := d.FirstChild(a)
+	if got := d.Text(d.FirstChild(p)); got != "<&>" {
+		t.Errorf("attr entities = %q, want <&>", got)
+	}
+	txt := d.NextSibling(p)
+	if got := d.Text(txt); got != "<x> AB" {
+		t.Errorf("text entities = %q, want %q", got, "<x> AB")
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	d := mustParse(t, "<a><![CDATA[<raw> & text]]></a>")
+	a := d.DocumentElement()
+	if got := d.Text(d.FirstChild(a)); got != "<raw> & text" {
+		t.Errorf("CDATA = %q", got)
+	}
+}
+
+func TestCommentsAndPIs(t *testing.T) {
+	d := mustParse(t, `<?xml version="1.0"?><!-- top --><a><!-- in --><b/><?pi data?></a><!-- after -->`)
+	a := d.DocumentElement()
+	b := d.FirstChild(a)
+	if d.LabelName(b) != "b" || d.NextSibling(b) != tree.Nil {
+		t.Errorf("comments/PIs should be invisible")
+	}
+}
+
+func TestDoctypeSkipped(t *testing.T) {
+	d := mustParse(t, `<!DOCTYPE a SYSTEM "a.dtd" [<!ELEMENT a ANY>]><a/>`)
+	if d.LabelName(d.DocumentElement()) != "a" {
+		t.Errorf("DOCTYPE not skipped correctly")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<a>",
+		"<a></b>",
+		"<a",
+		"<a x=1/>",
+		`<a x="1/>`,
+		"<a/><b/>",
+		"plain text",
+		"<a><!-- unterminated</a>",
+		"<a><![CDATA[x</a>",
+		"<1abc/>",
+	}
+	for _, src := range bad {
+		if _, err := xmlparse.ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+	// Errors carry offsets.
+	_, err := xmlparse.ParseString("<a></b>")
+	var se *xmlparse.SyntaxError
+	if !asSyntaxError(err, &se) {
+		t.Fatalf("error type = %T", err)
+	}
+	if se.Offset <= 0 || !strings.Contains(se.Error(), "mismatched") {
+		t.Errorf("unhelpful error: %v", se)
+	}
+}
+
+func asSyntaxError(err error, out **xmlparse.SyntaxError) bool {
+	se, ok := err.(*xmlparse.SyntaxError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func TestNameCharacters(t *testing.T) {
+	d := mustParse(t, `<ns:el-em.2 ns:at-tr="v"/>`)
+	if d.LabelName(d.DocumentElement()) != "ns:el-em.2" {
+		t.Errorf("name = %q", d.LabelName(d.DocumentElement()))
+	}
+}
+
+// Property: serialize∘parse is the identity on generated documents
+// (attribute-free, since WriteXML emits attributes as child elements).
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 120, TextProb: 0.25})
+		if d.DocumentElement() == tree.Nil {
+			return true // empty doc serializes to nothing parseable
+		}
+		src := d.XMLString()
+		d2, err := xmlparse.ParseString(src)
+		if err != nil {
+			return false
+		}
+		return d2.XMLString() == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	const depth = 5000
+	src := strings.Repeat("<a>", depth) + strings.Repeat("</a>", depth)
+	d := mustParse(t, src)
+	if d.NumNodes() != depth+1 {
+		t.Errorf("NumNodes = %d, want %d", d.NumNodes(), depth+1)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	d := tgen.Random(1, tgen.Config{MaxNodes: 20000, TextProb: 0.2, MaxDepth: 20})
+	src := []byte(d.XMLString())
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmlparse.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

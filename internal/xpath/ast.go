@@ -1,0 +1,222 @@
+// Package xpath provides the lexer, parser and AST for the forward Core
+// XPath fragment of the paper (Definition C.1): child, descendant,
+// following-sibling and attribute axes, name/*/node()/text() node tests,
+// and arbitrarily nested predicates over and/or/not and relative paths.
+// The common abbreviations are accepted: `//a` (descendant), `a` (child),
+// `@x` (attribute::x), `.` (self, inside predicates) and `.//a`.
+package xpath
+
+import "strings"
+
+// Axis is an XPath axis of the forward fragment.
+type Axis int
+
+// Supported axes. The backward axes are parsed and evaluated by the
+// step-wise engine; the automata pipeline covers the forward fragment
+// (the paper's prototype rewrites up-moves on-the-fly, its theory does
+// not — see §6).
+const (
+	Child Axis = iota
+	Descendant
+	FollowingSibling
+	Attribute
+	Self // "." steps
+	Parent
+	Ancestor
+	AncestorOrSelf
+)
+
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "child"
+	case Descendant:
+		return "descendant"
+	case FollowingSibling:
+		return "following-sibling"
+	case Attribute:
+		return "attribute"
+	case Self:
+		return "self"
+	case Parent:
+		return "parent"
+	case Ancestor:
+		return "ancestor"
+	case AncestorOrSelf:
+		return "ancestor-or-self"
+	}
+	return "?"
+}
+
+// TestKind classifies node tests.
+type TestKind int
+
+// Node test kinds.
+const (
+	TestName TestKind = iota // a concrete tag (or attribute) name
+	TestStar                 // *
+	TestNode                 // node()
+	TestText                 // text()
+)
+
+// NodeTest is the test part of a location step.
+type NodeTest struct {
+	Kind TestKind
+	Name string // for TestName
+}
+
+func (nt NodeTest) String() string {
+	switch nt.Kind {
+	case TestName:
+		return nt.Name
+	case TestStar:
+		return "*"
+	case TestNode:
+		return "node()"
+	case TestText:
+		return "text()"
+	}
+	return "?"
+}
+
+// Step is one location step: axis::test[pred]*.
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Pred // conjunction of the bracketed predicates
+}
+
+func (s Step) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Axis.String())
+	sb.WriteString("::")
+	if s.Axis == Attribute && s.Test.Kind == TestName {
+		// Attribute names are stored with the "@" encoding prefix used
+		// by the tree; the surface syntax has the axis spell it out.
+		sb.WriteString(strings.TrimPrefix(s.Test.Name, "@"))
+	} else {
+		sb.WriteString(s.Test.String())
+	}
+	for _, p := range s.Preds {
+		sb.WriteByte('[')
+		sb.WriteString(p.String())
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Path is a location path. Absolute paths start at the document root
+// ("/"); relative paths start at the context node (only inside
+// predicates in this fragment — top-level queries are absolute or
+// root-descendant).
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+func (p *Path) String() string {
+	var sb strings.Builder
+	if p.Absolute {
+		sb.WriteByte('/')
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// Pred is a predicate expression: And, Or, Not or a PathPred (existential
+// path test).
+type Pred interface {
+	String() string
+	pred()
+}
+
+// And is conjunction.
+type And struct{ Left, Right Pred }
+
+// Or is disjunction.
+type Or struct{ Left, Right Pred }
+
+// Not is negation.
+type Not struct{ Inner Pred }
+
+// PathPred holds a relative (or absolute) path whose non-emptiness is the
+// predicate's truth value.
+type PathPred struct{ Path *Path }
+
+// Contains is the text predicate contains(path, "needle"): true iff some
+// node selected by the (relative) path has text content containing the
+// needle. The paper's prototype supports text predicates via [1]; the
+// engine treats them as black-boxes (§6).
+type Contains struct {
+	Path   *Path
+	Needle string
+}
+
+func (*And) pred()      {}
+func (*Or) pred()       {}
+func (*Not) pred()      {}
+func (*PathPred) pred() {}
+func (*Contains) pred() {}
+
+func (a *And) String() string { return "(" + a.Left.String() + " and " + a.Right.String() + ")" }
+func (o *Or) String() string  { return "(" + o.Left.String() + " or " + o.Right.String() + ")" }
+func (n *Not) String() string { return "not(" + n.Inner.String() + ")" }
+func (p *PathPred) String() string {
+	if !p.Path.Absolute && len(p.Path.Steps) > 0 && p.Path.Steps[0].Axis == Descendant {
+		return "." + "//" + shortPath(p.Path.Steps)
+	}
+	return p.Path.String()
+}
+
+func (c *Contains) String() string {
+	return "contains(" + (&PathPred{Path: c.Path}).String() + ", " + quoteString(c.Needle) + ")"
+}
+
+func quoteString(s string) string {
+	if strings.ContainsRune(s, '"') {
+		return "'" + s + "'"
+	}
+	return "\"" + s + "\""
+}
+
+func shortPath(steps []Step) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "/")
+}
+
+// Size returns the number of location steps in the path including all
+// predicate paths; the |Q| of the paper's complexity discussion.
+func (p *Path) Size() int {
+	n := 0
+	for _, s := range p.Steps {
+		n++
+		for _, pr := range s.Preds {
+			n += predSize(pr)
+		}
+	}
+	return n
+}
+
+func predSize(p Pred) int {
+	switch q := p.(type) {
+	case *And:
+		return predSize(q.Left) + predSize(q.Right)
+	case *Or:
+		return predSize(q.Left) + predSize(q.Right)
+	case *Not:
+		return predSize(q.Inner)
+	case *PathPred:
+		return q.Path.Size()
+	case *Contains:
+		return q.Path.Size()
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package xpath
+
+import "testing"
+
+func TestBackwardAxes(t *testing.T) {
+	p := mustParse(t, "//a/parent::b")
+	if p.Steps[1].Axis != Parent || p.Steps[1].Test.Name != "b" {
+		t.Errorf("parent axis: %v", p.Steps[1])
+	}
+	p = mustParse(t, "//a/ancestor::b")
+	if p.Steps[1].Axis != Ancestor {
+		t.Errorf("ancestor axis: %v", p.Steps[1])
+	}
+	p = mustParse(t, "//a/ancestor-or-self::*")
+	if p.Steps[1].Axis != AncestorOrSelf || p.Steps[1].Test.Kind != TestStar {
+		t.Errorf("ancestor-or-self axis: %v", p.Steps[1])
+	}
+}
+
+func TestDotDotStep(t *testing.T) {
+	p := mustParse(t, "//a/../b")
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[1].Axis != Parent || p.Steps[1].Test.Kind != TestNode {
+		t.Errorf(".. step: %v", p.Steps[1])
+	}
+	// Inside predicates too.
+	p = mustParse(t, "//a[../b]")
+	inner := p.Steps[0].Preds[0].(*PathPred).Path
+	if inner.Steps[0].Axis != Parent {
+		t.Errorf("predicate ..: %v", inner.Steps[0])
+	}
+}
+
+func TestContainsPredicate(t *testing.T) {
+	p := mustParse(t, `//book[contains(title, "XPath")]`)
+	c, ok := p.Steps[0].Preds[0].(*Contains)
+	if !ok {
+		t.Fatalf("predicate is %T", p.Steps[0].Preds[0])
+	}
+	if c.Needle != "XPath" || c.Path.Steps[0].Test.Name != "title" {
+		t.Errorf("contains parsed as %v / %q", c.Path, c.Needle)
+	}
+	// Single quotes and dot paths.
+	p = mustParse(t, `//a[contains(., 'x')]`)
+	c = p.Steps[0].Preds[0].(*Contains)
+	if c.Needle != "x" || c.Path.Steps[0].Axis != Self {
+		t.Errorf("contains(., ...): %v", c)
+	}
+	// An element actually named contains.
+	p = mustParse(t, "//a[contains]")
+	if _, ok := p.Steps[0].Preds[0].(*PathPred); !ok {
+		t.Errorf("element named contains mis-parsed: %T", p.Steps[0].Preds[0])
+	}
+}
+
+func TestContainsErrors(t *testing.T) {
+	for _, q := range []string{
+		`//a[contains(b)]`,
+		`//a[contains(b, )]`,
+		`//a[contains(b, "x"]`,
+		`//a[contains(b, "x]`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+}
+
+func TestExtensionStringRoundTrip(t *testing.T) {
+	for _, q := range []string{
+		"//a/parent::b",
+		"//a/ancestor::b[c]",
+		`//book[contains(title, "XPath")]`,
+		"//a[../b]",
+	} {
+		p1 := mustParse(t, q)
+		s1 := p1.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", s1, q, err)
+			continue
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Errorf("round-trip: %q -> %q -> %q", q, s1, s2)
+		}
+	}
+}

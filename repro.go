@@ -1,0 +1,103 @@
+// Package repro is a from-scratch Go reproduction of "XPath Whole Query
+// Optimization" (Maneth & Nguyen, 2010): an XPath engine that compiles
+// forward Core XPath into alternating selecting tree automata and
+// evaluates them over an indexed XML document visiting only (an
+// approximation of) the query's relevant nodes.
+//
+// Quick start:
+//
+//	doc, err := repro.ParseXML([]byte("<r><a><b/></a></r>"))
+//	eng := repro.NewEngine(doc)
+//	ans, err := eng.Query("//a//b")
+//	for _, v := range ans.Nodes {
+//	    fmt.Println(doc.Path(v))
+//	}
+//
+// The package is a facade over the internal packages; see DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the reproduced evaluation.
+package repro
+
+import (
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+	"repro/internal/xmark"
+	"repro/internal/xmlparse"
+)
+
+// Document is an immutable XML document tree; node identifiers are
+// preorder ranks.
+type Document = tree.Document
+
+// NodeID identifies a node by its preorder rank.
+type NodeID = tree.NodeID
+
+// Nil is the absent node.
+const Nil = tree.Nil
+
+// Engine evaluates XPath queries over one document, choosing among the
+// paper's evaluation strategies.
+type Engine = core.Engine
+
+// Answer is a query outcome: the selected nodes, the strategy that ran
+// and effort counters.
+type Answer = core.Answer
+
+// Strategy selects how a query is executed; see the constants.
+type Strategy = core.Strategy
+
+// Evaluation strategies (the series of the paper's Figure 4, plus the
+// hybrid run, the deterministic-automaton path and the step-wise
+// baseline).
+const (
+	Auto       = core.Auto
+	Naive      = core.Naive
+	Jumping    = core.Jumping
+	Memoized   = core.Memoized
+	Optimized  = core.Optimized
+	Hybrid     = core.Hybrid
+	TopDownDet = core.TopDownDet
+	Stepwise   = core.Stepwise
+)
+
+// ParseXML parses an XML document from bytes.
+func ParseXML(src []byte) (*Document, error) {
+	return xmlparse.Parse(src)
+}
+
+// ParseXMLString parses an XML document from a string.
+func ParseXMLString(src string) (*Document, error) {
+	return xmlparse.ParseString(src)
+}
+
+// ParseXMLFile reads and parses an XML file.
+func ParseXMLFile(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return xmlparse.Parse(data)
+}
+
+// NewEngine builds an engine (and its jumping index) for a document.
+func NewEngine(d *Document) *Engine {
+	return core.New(d)
+}
+
+// GenerateXMark generates a deterministic XMark-like auction document;
+// scale 1.0 approximates the paper's 116MB document (≈5.7M nodes).
+func GenerateXMark(scale float64, seed int64) *Document {
+	return xmark.Generate(xmark.Config{Scale: scale, Seed: seed})
+}
+
+// NewDocumentBuilder returns a builder for constructing documents
+// programmatically (Open/Text/Close events).
+func NewDocumentBuilder() *tree.Builder {
+	return tree.NewBuilder()
+}
+
+// PaperQueries returns the fifteen queries of the paper's Figure 2.
+func PaperQueries() []xmark.Query {
+	return xmark.Queries()
+}

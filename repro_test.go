@@ -1,0 +1,122 @@
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	doc, err := repro.ParseXMLString(`<library>
+		<shelf genre="sf">
+			<book><title>Solaris</title><author>Lem</author></book>
+			<book><title>Blindsight</title><author>Watts</author></book>
+		</shelf>
+		<shelf genre="db">
+			<book><title>TAPL</title></book>
+		</shelf>
+	</library>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := repro.NewEngine(doc)
+	ans, err := eng.Query("//book[author]/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Nodes) != 2 {
+		t.Fatalf("selected %d titles, want 2", len(ans.Nodes))
+	}
+	for _, v := range ans.Nodes {
+		if doc.LabelName(v) != "title" {
+			t.Errorf("selected %s", doc.Path(v))
+		}
+	}
+}
+
+func TestAllStrategiesOnFacade(t *testing.T) {
+	doc := repro.GenerateXMark(0.003, 7)
+	eng := repro.NewEngine(doc)
+	strategies := []repro.Strategy{
+		repro.Naive, repro.Jumping, repro.Memoized, repro.Optimized, repro.Stepwise,
+	}
+	var ref []repro.NodeID
+	for i, s := range strategies {
+		ans, err := eng.QueryWith("//listitem//keyword", s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if i == 0 {
+			ref = ans.Nodes
+			continue
+		}
+		if len(ans.Nodes) != len(ref) {
+			t.Errorf("%v selected %d, want %d", s, len(ans.Nodes), len(ref))
+		}
+	}
+}
+
+func TestParseXMLFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte("<a><b/></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := repro.ParseXMLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.LabelName(doc.DocumentElement()) != "a" {
+		t.Error("wrong root")
+	}
+	if _, err := repro.ParseXMLFile(filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDocumentBuilderFacade(t *testing.T) {
+	b := repro.NewDocumentBuilder()
+	b.Open("r")
+	b.Open("x")
+	b.Text("hi")
+	b.Close()
+	b.Close()
+	doc, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := repro.NewEngine(doc)
+	ans, err := eng.Query("//x/text()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Nodes) != 1 || doc.Text(ans.Nodes[0]) != "hi" {
+		t.Errorf("text query failed: %v", ans.Nodes)
+	}
+}
+
+func TestPaperQueriesExposed(t *testing.T) {
+	qs := repro.PaperQueries()
+	if len(qs) != 15 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	doc := repro.GenerateXMark(0.002, 1)
+	eng := repro.NewEngine(doc)
+	for _, q := range qs {
+		if _, err := eng.Query(q.XPath); err != nil {
+			t.Errorf("%s: %v", q.ID, err)
+		}
+	}
+}
+
+func ExampleEngine_Query() {
+	doc, _ := repro.ParseXMLString("<r><a><b/></a><b/></r>")
+	eng := repro.NewEngine(doc)
+	ans, _ := eng.Query("//a//b")
+	for _, v := range ans.Nodes {
+		fmt.Println(doc.Path(v))
+	}
+	// Output: /r/a/b
+}
