@@ -4,6 +4,11 @@
 //	xpq -file doc.xml -query '//listitem//keyword' [-strategy auto] [-paths] [-stats]
 //
 // With -xmark SCALE a generated XMark document is used instead of a file.
+// Documents can be persisted in the compact binary tree format so large
+// XMark trees parse once and reload in milliseconds:
+//
+//	xpq -xmark 1.0 -save auction.xqo            # generate once, save
+//	xpq -load auction.xqo -query '//keyword'    # reload instantly
 package main
 
 import (
@@ -18,17 +23,19 @@ import (
 func main() {
 	var (
 		file     = flag.String("file", "", "XML input file")
+		load     = flag.String("load", "", "binary document file to load (written by -save)")
+		save     = flag.String("save", "", "write the loaded document to this binary file")
 		xmarkSc  = flag.Float64("xmark", 0, "generate an XMark document at this scale instead of reading a file")
 		seed     = flag.Int64("seed", 1, "XMark generator seed")
-		query    = flag.String("query", "", "XPath query (required)")
+		query    = flag.String("query", "", "XPath query (required unless only -save)")
 		strategy = flag.String("strategy", "auto", "auto|naive|jumping|memoized|optimized|hybrid|topdown-det|stepwise")
 		paths    = flag.Bool("paths", false, "print the label path of each selected node")
 		stats    = flag.Bool("stats", false, "print evaluation statistics")
 		limit    = flag.Int("limit", 20, "maximum selected nodes to print (0 = all)")
 	)
 	flag.Parse()
-	if *query == "" {
-		fmt.Fprintln(os.Stderr, "xpq: -query is required")
+	if *query == "" && *save == "" {
+		fmt.Fprintln(os.Stderr, "xpq: -query is required (unless only saving with -save)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -38,6 +45,12 @@ func main() {
 	switch {
 	case *xmarkSc > 0:
 		doc = repro.GenerateXMark(*xmarkSc, *seed)
+	case *load != "":
+		doc, err = repro.LoadDocumentFile(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpq:", err)
+			os.Exit(1)
+		}
 	case *file != "":
 		doc, err = repro.ParseXMLFile(*file)
 		if err != nil {
@@ -45,11 +58,22 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "xpq: need -file or -xmark")
+		fmt.Fprintln(os.Stderr, "xpq: need -file, -load or -xmark")
 		os.Exit(2)
 	}
 
-	strat, ok := parseStrategy(*strategy)
+	if *save != "" {
+		if err := repro.SaveDocumentFile(*save, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "xpq:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d nodes to %s\n", doc.NumNodes(), *save)
+		if *query == "" {
+			return
+		}
+	}
+
+	strat, ok := repro.ParseStrategy(*strategy)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "xpq: unknown strategy %q\n", *strategy)
 		os.Exit(2)
@@ -86,26 +110,4 @@ func main() {
 	if n < len(ans.Nodes) {
 		fmt.Printf("  ... and %d more\n", len(ans.Nodes)-n)
 	}
-}
-
-func parseStrategy(s string) (repro.Strategy, bool) {
-	switch s {
-	case "auto":
-		return repro.Auto, true
-	case "naive":
-		return repro.Naive, true
-	case "jumping":
-		return repro.Jumping, true
-	case "memoized":
-		return repro.Memoized, true
-	case "optimized":
-		return repro.Optimized, true
-	case "hybrid":
-		return repro.Hybrid, true
-	case "topdown-det":
-		return repro.TopDownDet, true
-	case "stepwise":
-		return repro.Stepwise, true
-	}
-	return repro.Auto, false
 }

@@ -18,12 +18,12 @@ func TestParseStrategy(t *testing.T) {
 		"stepwise":    repro.Stepwise,
 	}
 	for name, want := range cases {
-		got, ok := parseStrategy(name)
+		got, ok := repro.ParseStrategy(name)
 		if !ok || got != want {
-			t.Errorf("parseStrategy(%q) = %v, %v", name, got, ok)
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, ok)
 		}
 	}
-	if _, ok := parseStrategy("bogus"); ok {
+	if _, ok := repro.ParseStrategy("bogus"); ok {
 		t.Error("bogus strategy accepted")
 	}
 }

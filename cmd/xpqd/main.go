@@ -1,0 +1,162 @@
+// Command xpqd is the XPath query daemon: an HTTP/JSON front end over
+// the multi-document query service (document store + compiled-query LRU
+// + batch evaluation + metrics).
+//
+//	xpqd [-addr localhost:8714] [-cache-size 256] [-workers N] [-allow-file-loads]
+//	     [-load id=file.xml ...] [-load-bin id=file.xqo ...] [-xmark id=scale[:seed] ...]
+//
+// Endpoints:
+//
+//	POST   /query      {"doc":"xm","query":"//listitem//keyword","strategy":"auto"}
+//	POST   /batch      {"requests":[{...},{...}]}
+//	GET    /docs       list resident documents with stats
+//	POST   /docs       {"id":"xm","xmark_scale":0.1} | {"id":"d","xml":"<r/>"} |
+//	                   {"id":"d","file":"doc.xml"} | {"id":"d","binary_file":"doc.xqo"}
+//	                   (the file-path forms require -allow-file-loads)
+//	DELETE /docs/{id}  evict a document (purges its compiled queries)
+//	GET    /stats      store + cache + latency metrics
+//	GET    /healthz    liveness
+//
+// SIGINT/SIGTERM drain in-flight requests and exit (graceful shutdown).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// multiFlag collects repeated flag occurrences.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8714", "listen address")
+		cacheSize  = flag.Int("cache-size", 256, "compiled-query LRU capacity (entries)")
+		workers    = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		allowFiles = flag.Bool("allow-file-loads", false, "let POST /docs read server-side file paths")
+		loads      multiFlag
+		loadBins   multiFlag
+		xmarks     multiFlag
+	)
+	flag.Var(&loads, "load", "preload an XML document, id=path (repeatable)")
+	flag.Var(&loadBins, "load-bin", "preload a binary-serialized document, id=path (repeatable)")
+	flag.Var(&xmarks, "xmark", "pregenerate an XMark document, id=scale[:seed] (repeatable)")
+	flag.Parse()
+
+	st := store.New()
+	if err := preload(st, loads, loadBins, xmarks); err != nil {
+		log.Fatalf("xpqd: %v", err)
+	}
+	svc := service.New(st, service.Options{CacheSize: *cacheSize, Workers: *workers})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc, service.HandlerOptions{AllowFileLoads: *allowFiles}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("xpqd: listening on %s (%d documents resident)", *addr, st.Len())
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("xpqd: %v", err)
+	case sig := <-sigc:
+		log.Printf("xpqd: %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("xpqd: shutdown: %v", err)
+		}
+		log.Print("xpqd: bye")
+	}
+}
+
+// preload loads every -load/-load-bin/-xmark document before serving,
+// so first queries never pay parse or index latency.
+func preload(st *store.Store, loads, loadBins, xmarks []string) error {
+	for _, spec := range loads {
+		id, path, err := splitSpec(spec, "-load")
+		if err != nil {
+			return err
+		}
+		h, err := st.LoadXMLFile(id, path)
+		if err != nil {
+			return err
+		}
+		logLoaded(h)
+	}
+	for _, spec := range loadBins {
+		id, path, err := splitSpec(spec, "-load-bin")
+		if err != nil {
+			return err
+		}
+		h, err := st.LoadBinaryFile(id, path)
+		if err != nil {
+			return err
+		}
+		logLoaded(h)
+	}
+	for _, spec := range xmarks {
+		id, arg, err := splitSpec(spec, "-xmark")
+		if err != nil {
+			return err
+		}
+		scaleStr, seedStr, hasSeed := strings.Cut(arg, ":")
+		scale, err := strconv.ParseFloat(scaleStr, 64)
+		if err != nil {
+			return fmt.Errorf("-xmark %q: bad scale: %w", spec, err)
+		}
+		seed := int64(1)
+		if hasSeed {
+			if seed, err = strconv.ParseInt(seedStr, 10, 64); err != nil {
+				return fmt.Errorf("-xmark %q: bad seed: %w", spec, err)
+			}
+		}
+		h, err := st.GenerateXMark(id, scale, seed)
+		if err != nil {
+			return err
+		}
+		logLoaded(h)
+	}
+	return nil
+}
+
+func splitSpec(spec, flagName string) (id, rest string, err error) {
+	id, rest, ok := strings.Cut(spec, "=")
+	if !ok || id == "" || rest == "" {
+		return "", "", fmt.Errorf("%s %q: want id=value", flagName, spec)
+	}
+	return id, rest, nil
+}
+
+func logLoaded(h *store.Handle) {
+	log.Printf("xpqd: loaded %q: %d nodes, %d labels, ~%.1f MB (%s)",
+		h.ID, h.Stats.Nodes, h.Stats.Labels,
+		float64(h.Stats.MemBytes)/(1<<20), h.Stats.Source)
+}

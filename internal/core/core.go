@@ -17,12 +17,13 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/asta"
 	"repro/internal/compile"
 	"repro/internal/hybrid"
 	"repro/internal/index"
+	"repro/internal/qcache"
+	"repro/internal/sta"
 	"repro/internal/stepwise"
 	"repro/internal/tree"
 	"repro/internal/xpath"
@@ -77,6 +78,31 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// ParseStrategy maps a strategy name (as printed by String) back to the
+// constant; ok is false for unknown names. The empty string is Auto, so
+// wire formats can omit the field.
+func ParseStrategy(name string) (Strategy, bool) {
+	switch name {
+	case "", "auto":
+		return Auto, true
+	case "naive":
+		return Naive, true
+	case "jumping":
+		return Jumping, true
+	case "memoized":
+		return Memoized, true
+	case "optimized":
+		return Optimized, true
+	case "hybrid":
+		return Hybrid, true
+	case "topdown-det":
+		return TopDownDet, true
+	case "stepwise":
+		return Stepwise, true
+	}
+	return Auto, false
+}
+
 // hybridCountFraction: Auto uses the hybrid run when the cheapest chain
 // label's count is below this fraction of the most frequent one — the
 // "one of the labels in the query has a low count" condition of §5.
@@ -84,18 +110,42 @@ const hybridCountFraction = 0.05
 
 // Engine evaluates queries over one document. It is safe for concurrent
 // use: the document and index are immutable and the compiled-query cache
-// is mutex-guarded (each evaluation carries its own run state).
+// is a concurrency-safe LRU (each evaluation carries its own run state).
 type Engine struct {
 	doc *tree.Document
 	ix  *index.Index
 
-	mu    sync.Mutex
-	cache map[string]*asta.ASTA
+	// cache holds compiled automata (*asta.ASTA under kind "asta",
+	// minimized *sta.STA under kind "tdsta"), keyed keyPrefix+kind+query.
+	// It may be shared across engines (the multi-document service shares
+	// one LRU and namespaces each engine by document id).
+	cache     *qcache.Cache
+	keyPrefix string
 }
 
-// New builds the engine and its index.
+// New builds the engine, its index, and a private bounded query cache.
 func New(d *tree.Document) *Engine {
-	return &Engine{doc: d, ix: index.New(d), cache: make(map[string]*asta.ASTA)}
+	return NewWithCache(d, qcache.New(qcache.DefaultCapacity), "")
+}
+
+// NewWithCache builds an engine that stores compiled automata in the
+// given (possibly shared) cache, namespacing its keys with keyPrefix.
+func NewWithCache(d *tree.Document, c *qcache.Cache, keyPrefix string) *Engine {
+	return &Engine{doc: d, ix: index.New(d), cache: c, keyPrefix: keyPrefix}
+}
+
+// NewWithIndex is NewWithCache for a document whose index is already
+// built (the document store builds the index once at load time).
+func NewWithIndex(d *tree.Document, ix *index.Index, c *qcache.Cache, keyPrefix string) *Engine {
+	return &Engine{doc: d, ix: ix, cache: c, keyPrefix: keyPrefix}
+}
+
+// CacheStats reports the compiled-query cache counters. For engines
+// built by NewWithCache the numbers cover every engine sharing the LRU.
+func (e *Engine) CacheStats() qcache.Stats { return e.cache.Stats() }
+
+func (e *Engine) cacheKey(kind, query string) string {
+	return e.keyPrefix + kind + "\x00" + query
 }
 
 // Doc returns the engine's document.
@@ -140,11 +190,17 @@ func (e *Engine) QueryWith(query string, s Strategy) (*Answer, error) {
 		}
 		return &Answer{Nodes: res.Selected, Strategy: Hybrid, Visited: res.Stats.Visited}, nil
 	case TopDownDet:
-		aut, err := compile.ToTDSTA(p, e.doc.Names())
+		v, _, err := e.cache.GetOrCompile(e.cacheKey("tdsta", query), func() (any, error) {
+			aut, err := compile.ToTDSTA(p, e.doc.Names())
+			if err != nil {
+				return nil, err
+			}
+			return aut.MinimizeTopDown(), nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		res := aut.MinimizeTopDown().EvalTopDownJump(e.doc, e.ix)
+		res := v.(*sta.STA).EvalTopDownJump(e.doc, e.ix)
 		return &Answer{Nodes: res.Selected, Strategy: TopDownDet, Visited: res.Visited}, nil
 	case Naive, Jumping, Memoized, Optimized:
 		return e.runASTA(query, p, s)
@@ -168,20 +224,15 @@ func astaOptions(s Strategy) asta.Options {
 }
 
 func (e *Engine) runASTA(query string, p *xpath.Path, s Strategy) (*Answer, error) {
-	e.mu.Lock()
-	aut, ok := e.cache[query]
-	e.mu.Unlock()
-	if !ok {
-		var err error
-		aut, err = compile.ToASTA(p, e.doc.Names())
-		if err != nil {
-			return nil, err
-		}
-		e.mu.Lock()
-		e.cache[query] = aut
-		e.mu.Unlock()
+	// The compiled ASTA is strategy-independent (jumping/memoization are
+	// evaluation options), so all four ASTA strategies share one entry.
+	v, _, err := e.cache.GetOrCompile(e.cacheKey("asta", query), func() (any, error) {
+		return compile.ToASTA(p, e.doc.Names())
+	})
+	if err != nil {
+		return nil, err
 	}
-	res := aut.Eval(e.doc, e.ix, astaOptions(s))
+	res := v.(*asta.ASTA).Eval(e.doc, e.ix, astaOptions(s))
 	return &Answer{
 		Nodes:       res.Selected,
 		Strategy:    s,

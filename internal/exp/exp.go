@@ -9,7 +9,8 @@
 // Absolute times depend on the host and on this reproduction's Go
 // substrate; the shapes the paper reports — which strategy wins, by
 // what order of magnitude, where the crossovers sit — are the claims
-// these harnesses check. EXPERIMENTS.md records one captured run.
+// these harnesses check; run cmd/experiments to capture them on the
+// current host.
 package exp
 
 import (

@@ -1,0 +1,219 @@
+// Package qcache is the compiled-query cache shared by core.Engine and
+// the multi-document query service: a size-bounded LRU of compiled (and
+// minimized) automata with single-flight compilation, so that N
+// concurrent requests for the same uncached query trigger exactly one
+// compilation and the automaton is amortized across every later
+// evaluation — the regime where the paper's whole-query optimization
+// pays for itself.
+//
+// Values are opaque (any): the same cache holds *asta.ASTA and minimized
+// *sta.STA artifacts side by side; callers namespace their keys (the
+// service uses docID\x00generation\x00kind\x00query, purging a
+// document's entries as RemovePrefix(docID+"\x00")).
+package qcache
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Cache is a concurrency-safe LRU keyed by string. The zero value is not
+// usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*call
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// call is an in-flight compilation other goroutines wait on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// DefaultCapacity bounds caches whose creator did not choose a size.
+const DefaultCapacity = 256
+
+// New returns a cache holding at most capacity entries; capacity <= 0
+// falls back to DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// GetOrCompile returns the cached value for key, or runs compile to
+// produce it. Concurrent callers with the same key share one compile
+// call (single-flight); errors are returned to every waiter and nothing
+// is cached. hit reports whether the value came from the cache without
+// this caller waiting on a compilation.
+func (c *Cache) GetOrCompile(key string, compile func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry).val, true, nil
+	}
+	c.misses++
+	if cl, ok := c.inflight[key]; ok {
+		// Another goroutine is compiling this key; wait for it.
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, false, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	// A panicking compile must still release the in-flight entry and
+	// wake waiters (with an error), or the key wedges forever; the
+	// panic is re-raised for the caller after cleanup.
+	var panicked any
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r
+				cl.err = fmt.Errorf("qcache: compile panicked: %v", r)
+			}
+		}()
+		cl.val, cl.err = compile()
+	}()
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil {
+		c.add(key, cl.val)
+	}
+	c.mu.Unlock()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return cl.val, false, cl.err
+}
+
+// Put inserts or replaces a value.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.add(key, val)
+}
+
+// add inserts under c.mu, evicting from the LRU tail past capacity.
+func (c *Cache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Remove drops one key; it reports whether the key was present.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	return ok
+}
+
+// RemovePrefix drops every key with the given prefix (the service purges
+// a document's automata as `docID+"\x00"` on eviction) and returns the
+// number removed.
+func (c *Cache) RemovePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*entry); strings.HasPrefix(e.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate is hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

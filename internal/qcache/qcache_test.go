@@ -1,0 +1,176 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Errorf("size/capacity = %d/%d, want 2/2", st.Size, st.Capacity)
+	}
+}
+
+func TestGetOrCompileCachesAndCounts(t *testing.T) {
+	c := New(8)
+	compiles := 0
+	f := func() (any, error) { compiles++; return "v", nil }
+	v, hit, err := c.GetOrCompile("k", f)
+	if err != nil || v != "v" || hit {
+		t.Fatalf("first call: v=%v hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.GetOrCompile("k", f)
+	if err != nil || v != "v" || !hit {
+		t.Fatalf("second call: v=%v hit=%v err=%v", v, hit, err)
+	}
+	if compiles != 1 {
+		t.Errorf("compiles = %d, want 1", compiles)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestGetOrCompileErrorNotCached(t *testing.T) {
+	c := New(8)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompile("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed compile must not be cached")
+	}
+	if v, _, err := c.GetOrCompile("k", func() (any, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("retry after error: v=%v err=%v", v, err)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := New(8)
+	var compiles atomic.Int64
+	gate := make(chan struct{})
+	const workers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			v, _, err := c.GetOrCompile("k", func() (any, error) {
+				compiles.Add(1)
+				return "shared", nil
+			})
+			if err != nil || v != "shared" {
+				t.Errorf("v=%v err=%v", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Errorf("compiles = %d, want 1 (single-flight)", n)
+	}
+}
+
+func TestGetOrCompilePanicReleasesKey(t *testing.T) {
+	c := New(8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic must propagate to the compiling caller")
+			}
+		}()
+		c.GetOrCompile("k", func() (any, error) { panic("compile exploded") })
+	}()
+	// The key must not be wedged: a later call compiles normally.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := c.GetOrCompile("k", func() (any, error) { return "ok", nil })
+		if err != nil || v != "ok" {
+			t.Errorf("after panic: v=%v err=%v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key wedged after compile panic")
+	}
+}
+
+func TestWaiterGetsErrorWhenCompilePanics(t *testing.T) {
+	c := New(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.GetOrCompile("k", func() (any, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+	errc := make(chan error, 1)
+	go func() {
+		// Joins the in-flight compile (or, if it loses the race with
+		// cleanup, runs its own — which also errors, so err is non-nil
+		// on both paths and the assertion below is deterministic).
+		_, _, err := c.GetOrCompile("k", func() (any, error) {
+			return nil, errors.New("fallback compile")
+		})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter reach the in-flight wait
+	close(release)
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("waiter must receive an error when the compile panics")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung after compile panic")
+	}
+}
+
+func TestRemovePrefix(t *testing.T) {
+	c := New(16)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("doc1\x00q%d", i), i)
+		c.Put(fmt.Sprintf("doc2\x00q%d", i), i)
+	}
+	if n := c.RemovePrefix("doc1\x00"); n != 4 {
+		t.Errorf("removed %d, want 4", n)
+	}
+	if c.Len() != 4 {
+		t.Errorf("len = %d, want 4", c.Len())
+	}
+	if _, ok := c.Get("doc2\x00q0"); !ok {
+		t.Error("doc2 entries must survive")
+	}
+}

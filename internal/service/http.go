@@ -1,0 +1,173 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/store"
+)
+
+// HTTP/JSON surface of the service, mounted by cmd/xpqd and exercised
+// directly (via httptest) in tests:
+//
+//	POST   /query   Request                  -> Response
+//	POST   /batch   BatchRequest             -> BatchResponse
+//	GET    /docs                             -> DocsResponse
+//	POST   /docs    LoadRequest              -> store.Stats
+//	DELETE /docs/{id}                        -> 204
+//	GET    /stats                            -> Stats
+//	GET    /healthz                          -> 200 "ok"
+
+// BatchRequest is the body of POST /batch.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchResponse is the reply of POST /batch.
+type BatchResponse struct {
+	Responses []Response `json:"responses"`
+}
+
+// LoadRequest is the body of POST /docs; exactly one source field must
+// be set.
+type LoadRequest struct {
+	ID string `json:"id"`
+	// XML is inline document text.
+	XML string `json:"xml,omitempty"`
+	// File is a server-side XML file path.
+	File string `json:"file,omitempty"`
+	// BinaryFile is a server-side file in the tree.WriteTo format.
+	BinaryFile string `json:"binary_file,omitempty"`
+	// XMarkScale generates a document instead of loading one.
+	XMarkScale float64 `json:"xmark_scale,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// HandlerOptions configures the HTTP surface.
+type HandlerOptions struct {
+	// AllowFileLoads permits POST /docs to read server-side paths
+	// (LoadRequest.File / BinaryFile). Off by default: an exposed
+	// daemon must not hand out arbitrary readable files as queryable
+	// documents.
+	AllowFileLoads bool
+}
+
+// NewHandler mounts the service's HTTP API on a fresh mux.
+func NewHandler(s *Service, opts HandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp := s.Eval(req)
+		writeJSON(w, statusFor(resp), resp)
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		// Per-request failures ride in each Response.Err; the batch is 200.
+		writeJSON(w, http.StatusOK, BatchResponse{Responses: s.EvalBatch(req.Requests)})
+	})
+	mux.HandleFunc("GET /docs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"documents": s.Store().List()})
+	})
+	mux.HandleFunc("POST /docs", func(w http.ResponseWriter, r *http.Request) {
+		var req LoadRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if !opts.AllowFileLoads && (req.File != "" || req.BinaryFile != "") {
+			writeJSON(w, http.StatusForbidden,
+				errorBody{Error: "server-side file loads are disabled (start the daemon with -allow-file-loads)"})
+			return
+		}
+		h, err := loadDoc(s, req)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, store.ErrExists) {
+				code = http.StatusConflict
+			}
+			writeJSON(w, code, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusCreated, h.Stats)
+	})
+	mux.HandleFunc("DELETE /docs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.EvictDoc(r.PathValue("id")) {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "no such document"})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func loadDoc(s *Service, req LoadRequest) (*store.Handle, error) {
+	sources := 0
+	for _, set := range []bool{req.XML != "", req.File != "", req.BinaryFile != "", req.XMarkScale != 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of xml, file, binary_file, xmark_scale required")
+	}
+	switch {
+	case req.XML != "":
+		return s.Store().LoadXML(req.ID, []byte(req.XML))
+	case req.File != "":
+		return s.Store().LoadXMLFile(req.ID, req.File)
+	case req.BinaryFile != "":
+		return s.Store().LoadBinaryFile(req.ID, req.BinaryFile)
+	default:
+		return s.Store().GenerateXMark(req.ID, req.XMarkScale, req.Seed)
+	}
+}
+
+// statusFor maps an Eval outcome to an HTTP status: unknown documents
+// are 404, everything else (parse errors, fragment violations) is 400.
+func statusFor(resp Response) int {
+	switch {
+	case resp.Err == "":
+		return http.StatusOK
+	case resp.notFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/xmark"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(New(store.New(), Options{}), HandlerOptions{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decoding body: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonEndToEnd is the acceptance scenario: load an XMark document
+// over HTTP, run a 10-query batch, and observe a compiled-query cache
+// hit rate > 0 on GET /stats.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+
+	var docStats store.Stats
+	code := doJSON(t, "POST", srv.URL+"/docs",
+		LoadRequest{ID: "xm", XMarkScale: 0.002, Seed: 1}, &docStats)
+	if code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	if docStats.Nodes == 0 || docStats.Source != store.SourceXMark {
+		t.Fatalf("doc stats: %+v", docStats)
+	}
+
+	// A 10-query batch with repeats, so the LRU sees the same compiled
+	// automata again.
+	qs := xmark.Queries()
+	var batch BatchRequest
+	for i := 0; i < 10; i++ {
+		batch.Requests = append(batch.Requests,
+			Request{Doc: "xm", Query: qs[i%5].XPath})
+	}
+	var batchResp BatchResponse
+	if code := doJSON(t, "POST", srv.URL+"/batch", batch, &batchResp); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	if len(batchResp.Responses) != 10 {
+		t.Fatalf("batch responses = %d, want 10", len(batchResp.Responses))
+	}
+	for i, r := range batchResp.Responses {
+		if r.Err != "" {
+			t.Errorf("batch[%d] (%s): %s", i, batch.Requests[i].Query, r.Err)
+		}
+	}
+
+	var stats Stats
+	if code := doJSON(t, "GET", srv.URL+"/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate = %v, want > 0 (stats: %+v)", stats.CacheHitRate, stats.Cache)
+	}
+	if stats.Queries.Total != 10 {
+		t.Errorf("query total = %d, want 10", stats.Queries.Total)
+	}
+	if len(stats.Documents) != 1 || stats.Documents[0].ID != "xm" {
+		t.Errorf("documents = %+v", stats.Documents)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/docs",
+		LoadRequest{ID: "d", XML: "<r><a><b/></a></r>"}, nil); code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	var resp Response
+	if code := doJSON(t, "POST", srv.URL+"/query",
+		Request{Doc: "d", Query: "//b", Paths: true}, &resp); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if resp.Count != 1 || len(resp.Paths) != 1 || resp.Paths[0] != "/r/a/b" {
+		t.Errorf("response: %+v", resp)
+	}
+
+	// Unknown document -> 404; bad query -> 400; bad body -> 400.
+	if code := doJSON(t, "POST", srv.URL+"/query",
+		Request{Doc: "ghost", Query: "//b"}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown doc: status %d, want 404", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/query",
+		Request{Doc: "d", Query: "///"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad query: status %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/query",
+		map[string]any{"doc": "d", "nonsense": true}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", code)
+	}
+}
+
+func TestDocLifecycleOverHTTP(t *testing.T) {
+	srv := newTestServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/docs",
+		LoadRequest{ID: "d", XML: "<r/>"}, nil); code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	// Duplicate id -> 409; no source or two sources -> 400.
+	if code := doJSON(t, "POST", srv.URL+"/docs",
+		LoadRequest{ID: "d", XML: "<r/>"}, nil); code != http.StatusConflict {
+		t.Errorf("duplicate: status %d, want 409", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/docs", LoadRequest{ID: "e"}, nil); code != http.StatusBadRequest {
+		t.Errorf("no source: status %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/docs",
+		LoadRequest{ID: "e", XML: "<r/>", XMarkScale: 1}, nil); code != http.StatusBadRequest {
+		t.Errorf("two sources: status %d, want 400", code)
+	}
+
+	var docs struct {
+		Documents []store.Stats `json:"documents"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/docs", nil, &docs); code != http.StatusOK || len(docs.Documents) != 1 {
+		t.Fatalf("list: status %d, docs %+v", code, docs)
+	}
+
+	if code := doJSON(t, "DELETE", srv.URL+"/docs/d", nil, nil); code != http.StatusNoContent {
+		t.Errorf("delete: status %d, want 204", code)
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/docs/d", nil, nil); code != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", code)
+	}
+}
+
+func TestFileLoadsGated(t *testing.T) {
+	// Default handler: server-side path reads are forbidden.
+	srv := newTestServer(t)
+	for _, req := range []LoadRequest{
+		{ID: "f", File: "/etc/hostname"},
+		{ID: "b", BinaryFile: "/etc/hostname"},
+	} {
+		if code := doJSON(t, "POST", srv.URL+"/docs", req, nil); code != http.StatusForbidden {
+			t.Errorf("file load %+v: status %d, want 403", req, code)
+		}
+	}
+
+	// Opt-in handler: loads work.
+	doc := writeSmallBinary(t)
+	open := httptest.NewServer(NewHandler(New(store.New(), Options{}),
+		HandlerOptions{AllowFileLoads: true}))
+	defer open.Close()
+	var stats store.Stats
+	if code := doJSON(t, "POST", open.URL+"/docs",
+		LoadRequest{ID: "b", BinaryFile: doc}, &stats); code != http.StatusCreated {
+		t.Fatalf("allowed binary load: status %d", code)
+	}
+	if stats.Source != store.SourceBinary || stats.Nodes == 0 {
+		t.Errorf("loaded stats: %+v", stats)
+	}
+}
+
+// writeSmallBinary writes a small serialized document to a
+// temp file and returns its path.
+func writeSmallBinary(t *testing.T) string {
+	t.Helper()
+	st := store.New()
+	h, err := st.LoadXML("tmp", []byte("<r><a/></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.xqo")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Doc.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if want := "ok\n"; string(b) != want {
+		t.Errorf("healthz body = %q, want %q", b, want)
+	}
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// latencyBuckets are the histogram upper bounds in microseconds
+// (100µs … 1s, then +Inf).
+var latencyBuckets = []int64{100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000}
+
+// metrics accumulates per-query counters; one instance per Service.
+// A plain mutex keeps the histogram and counters mutually consistent;
+// query latencies dwarf the critical section.
+type metrics struct {
+	mu            sync.Mutex
+	total         uint64
+	errors        uint64
+	visitedNodes  uint64
+	selectedNodes uint64
+	byStrategy    map[string]uint64
+	bucketCounts  []uint64 // len(latencyBuckets)+1, last is overflow
+	latencySumUS  int64
+	latencyMaxUS  int64
+}
+
+func (m *metrics) record(strat core.Strategy, elapsedUS int64, visited, selected int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.byStrategy == nil {
+		m.byStrategy = make(map[string]uint64)
+		m.bucketCounts = make([]uint64, len(latencyBuckets)+1)
+	}
+	m.total++
+	m.visitedNodes += uint64(visited)
+	m.selectedNodes += uint64(selected)
+	m.byStrategy[strat.String()]++
+	i := 0
+	for i < len(latencyBuckets) && elapsedUS > latencyBuckets[i] {
+		i++
+	}
+	m.bucketCounts[i]++
+	m.latencySumUS += elapsedUS
+	if elapsedUS > m.latencyMaxUS {
+		m.latencyMaxUS = elapsedUS
+	}
+}
+
+func (m *metrics) recordError() {
+	m.mu.Lock()
+	m.errors++
+	m.total++
+	m.mu.Unlock()
+}
+
+// LatencyBucket is one histogram bin: count of queries with latency
+// <= LEMicros (the last bucket has LEMicros == 0, meaning +Inf).
+type LatencyBucket struct {
+	LEMicros int64  `json:"le_us,omitempty"`
+	Count    uint64 `json:"count"`
+}
+
+// QueryStats is the cumulative query-side picture.
+type QueryStats struct {
+	Total  uint64 `json:"total"`
+	Errors uint64 `json:"errors"`
+	// VisitedNodes sums the nodes touched across all successful runs.
+	VisitedNodes  uint64            `json:"visited_nodes"`
+	SelectedNodes uint64            `json:"selected_nodes"`
+	ByStrategy    map[string]uint64 `json:"by_strategy,omitempty"`
+	Latency       []LatencyBucket   `json:"latency_histogram,omitempty"`
+	LatencyMeanUS int64             `json:"latency_mean_us"`
+	LatencyMaxUS  int64             `json:"latency_max_us"`
+}
+
+func (m *metrics) snapshot() QueryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	qs := QueryStats{
+		Total:         m.total,
+		Errors:        m.errors,
+		VisitedNodes:  m.visitedNodes,
+		SelectedNodes: m.selectedNodes,
+		LatencyMaxUS:  m.latencyMaxUS,
+	}
+	if n := m.total - m.errors; n > 0 {
+		qs.LatencyMeanUS = m.latencySumUS / int64(n)
+	}
+	if m.byStrategy != nil {
+		qs.ByStrategy = make(map[string]uint64, len(m.byStrategy))
+		for k, v := range m.byStrategy {
+			qs.ByStrategy[k] = v
+		}
+		qs.Latency = make([]LatencyBucket, len(m.bucketCounts))
+		for i, c := range m.bucketCounts {
+			b := LatencyBucket{Count: c}
+			if i < len(latencyBuckets) {
+				b.LEMicros = latencyBuckets[i]
+			}
+			qs.Latency[i] = b
+		}
+	}
+	return qs
+}
+
+// timer wraps the monotonic clock; a named type keeps time usage in one
+// place for tests.
+type timer struct{ start time.Time }
+
+func startTimer() timer { return timer{start: time.Now()} }
+
+func (t timer) elapsedMicros() int64 { return time.Since(t.start).Microseconds() }

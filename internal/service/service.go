@@ -1,0 +1,250 @@
+// Package service is the long-lived query-serving layer over the
+// engine: a document store, one shared size-bounded LRU of compiled and
+// minimized automata (keyed by document, artifact kind and query, with
+// single-flight compilation), a worker-pool batch API, and per-query
+// metrics. It is the amortization layer the paper's whole-query
+// optimization assumes — compile once, evaluate many times — extended
+// across many resident documents and concurrent clients.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/qcache"
+	"repro/internal/store"
+	"repro/internal/tree"
+)
+
+// ErrNoDocument is wrapped by Eval errors for queries against ids not
+// resident in the store; the HTTP layer maps it to 404.
+var ErrNoDocument = errors.New("no such document")
+
+// Options configures a Service.
+type Options struct {
+	// CacheSize bounds the compiled-query LRU (entries, shared across
+	// all documents); <= 0 means qcache.DefaultCapacity.
+	CacheSize int
+	// Workers sizes the batch worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Service serves queries over the documents resident in its store. All
+// methods are safe for concurrent use.
+type Service struct {
+	store   *store.Store
+	cache   *qcache.Cache
+	workers int
+
+	mu      sync.Mutex
+	engines map[string]engineEntry
+	// generation increments per engine created. Cache keys embed the
+	// generation (docID\x00gen\x00...), so a compilation that was
+	// in flight when EvictDoc purged the prefix can only re-insert
+	// under the dead generation — a reloaded document under the same
+	// id gets a fresh generation and can never hit the stale entry.
+	generation uint64
+
+	metrics metrics
+}
+
+// engineEntry pins the store handle an engine was built from, so
+// engine() can detect evict/reload churn done directly on the store
+// (bypassing EvictDoc) and rebuild instead of serving the old tree.
+type engineEntry struct {
+	handle *store.Handle
+	engine *core.Engine
+}
+
+// New builds a service around a (possibly pre-populated) store.
+func New(st *store.Store, opts Options) *Service {
+	if st == nil {
+		st = store.New()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Service{
+		store:   st,
+		cache:   qcache.New(opts.CacheSize),
+		workers: workers,
+		engines: make(map[string]engineEntry),
+	}
+}
+
+// Store exposes the underlying document store (loads may bypass the
+// service; engines attach lazily at first query).
+func (s *Service) Store() *store.Store { return s.store }
+
+// engine returns the per-document engine, creating it on first use and
+// rebuilding it whenever the store's handle for the id has changed
+// (evict + reload through Store() directly). Engines share the service
+// LRU, namespaced by document id and generation.
+func (s *Service) engine(docID string) (*core.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.store.Get(docID)
+	if !ok {
+		delete(s.engines, docID)
+		return nil, fmt.Errorf("service: %w: %q", ErrNoDocument, docID)
+	}
+	if ent, ok := s.engines[docID]; ok && ent.handle == h {
+		return ent.engine, nil
+	}
+	s.generation++
+	prefix := docID + "\x00" + strconv.FormatUint(s.generation, 10) + "\x00"
+	e := core.NewWithIndex(h.Doc, h.Index, s.cache, prefix)
+	s.engines[docID] = engineEntry{handle: h, engine: e}
+	return e, nil
+}
+
+// EvictDoc removes a document from the store, drops its engine, and
+// purges its compiled automata from the LRU. It reports whether the
+// document was resident.
+func (s *Service) EvictDoc(docID string) bool {
+	ok := s.store.Evict(docID)
+	s.mu.Lock()
+	delete(s.engines, docID)
+	s.mu.Unlock()
+	s.cache.RemovePrefix(docID + "\x00")
+	return ok
+}
+
+// Request is one query against one resident document.
+type Request struct {
+	// Doc is the document id in the store.
+	Doc string `json:"doc"`
+	// Query is the XPath text.
+	Query string `json:"query"`
+	// Strategy names an execution strategy; empty means auto.
+	Strategy string `json:"strategy,omitempty"`
+	// Paths asks for the label path of each selected node.
+	Paths bool `json:"paths,omitempty"`
+	// Limit truncates the returned node list (0 = all); Count always
+	// reports the full cardinality.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Response is the outcome of one Request.
+type Response struct {
+	Doc      string `json:"doc"`
+	Query    string `json:"query"`
+	Strategy string `json:"strategy,omitempty"`
+	// Count is the full answer cardinality, even when Nodes is truncated.
+	Count int           `json:"count"`
+	Nodes []tree.NodeID `json:"nodes"`
+	Paths []string      `json:"paths,omitempty"`
+	// Visited counts nodes touched by the run — the paper's measure of
+	// how little of the document the optimized evaluation looks at.
+	Visited   int    `json:"visited"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Err       string `json:"error,omitempty"`
+	// notFound distinguishes unknown-document errors for the HTTP
+	// status mapping without parsing Err text.
+	notFound bool
+}
+
+// Eval evaluates one request.
+func (s *Service) Eval(req Request) Response {
+	resp := Response{Doc: req.Doc, Query: req.Query}
+	strat, ok := core.ParseStrategy(req.Strategy)
+	if !ok {
+		resp.Err = fmt.Sprintf("unknown strategy %q", req.Strategy)
+		s.metrics.recordError()
+		return resp
+	}
+	eng, err := s.engine(req.Doc)
+	if err != nil {
+		resp.Err = err.Error()
+		resp.notFound = errors.Is(err, ErrNoDocument)
+		s.metrics.recordError()
+		return resp
+	}
+	timer := startTimer()
+	ans, err := eng.QueryWith(req.Query, strat)
+	elapsed := timer.elapsedMicros()
+	resp.ElapsedUS = elapsed
+	if err != nil {
+		resp.Err = err.Error()
+		s.metrics.recordError()
+		return resp
+	}
+	resp.Strategy = ans.Strategy.String()
+	resp.Count = len(ans.Nodes)
+	resp.Visited = ans.Visited
+	nodes := ans.Nodes
+	if req.Limit > 0 && len(nodes) > req.Limit {
+		nodes = nodes[:req.Limit]
+	}
+	resp.Nodes = nodes
+	if req.Paths {
+		resp.Paths = make([]string, len(nodes))
+		for i, v := range nodes {
+			resp.Paths[i] = eng.Doc().Path(v)
+		}
+	}
+	s.metrics.record(ans.Strategy, elapsed, ans.Visited, len(ans.Nodes))
+	return resp
+}
+
+// EvalBatch fans the requests across the worker pool and returns the
+// responses in request order. Individual failures land in the matching
+// Response.Err; the batch itself never fails.
+func (s *Service) EvalBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := s.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, r := range reqs {
+			out[i] = s.Eval(r)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = s.Eval(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Stats is a point-in-time snapshot of the whole service.
+type Stats struct {
+	Documents []store.Stats `json:"documents"`
+	// Cache covers the shared compiled-query LRU across all documents.
+	Cache        qcache.Stats `json:"cache"`
+	CacheHitRate float64      `json:"cache_hit_rate"`
+	Queries      QueryStats   `json:"queries"`
+}
+
+// Stats snapshots the store, cache and query counters.
+func (s *Service) Stats() Stats {
+	cs := s.cache.Stats()
+	return Stats{
+		Documents:    s.store.List(),
+		Cache:        cs,
+		CacheHitRate: cs.HitRate(),
+		Queries:      s.metrics.snapshot(),
+	}
+}

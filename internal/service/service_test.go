@@ -1,0 +1,242 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/xmark"
+)
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	s := New(store.New(), opts)
+	if _, err := s.Store().LoadXML("d1",
+		[]byte("<r><a><b>x</b></a><a><b/><b/></a><c/></r>")); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEvalBasics(t *testing.T) {
+	s := newTestService(t, Options{})
+	resp := s.Eval(Request{Doc: "d1", Query: "//a/b"})
+	if resp.Err != "" {
+		t.Fatalf("err: %s", resp.Err)
+	}
+	if resp.Count != 3 || len(resp.Nodes) != 3 {
+		t.Errorf("count = %d nodes = %d, want 3", resp.Count, len(resp.Nodes))
+	}
+	if resp.Strategy == "" || resp.Strategy == "auto" {
+		t.Errorf("strategy = %q, want the concrete engine that ran", resp.Strategy)
+	}
+
+	limited := s.Eval(Request{Doc: "d1", Query: "//a/b", Limit: 2, Paths: true})
+	if limited.Count != 3 || len(limited.Nodes) != 2 || len(limited.Paths) != 2 {
+		t.Errorf("limit: count=%d nodes=%d paths=%d, want 3/2/2",
+			limited.Count, len(limited.Nodes), len(limited.Paths))
+	}
+	if limited.Paths[0] != "/r/a/b" {
+		t.Errorf("path = %q, want /r/a/b", limited.Paths[0])
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	s := newTestService(t, Options{})
+	if resp := s.Eval(Request{Doc: "nope", Query: "//a"}); resp.Err == "" {
+		t.Error("unknown doc must error")
+	}
+	if resp := s.Eval(Request{Doc: "d1", Query: "//a", Strategy: "warp"}); resp.Err == "" {
+		t.Error("unknown strategy must error")
+	}
+	if resp := s.Eval(Request{Doc: "d1", Query: "///"}); resp.Err == "" {
+		t.Error("bad query must error")
+	}
+	st := s.Stats()
+	if st.Queries.Errors != 3 {
+		t.Errorf("error counter = %d, want 3", st.Queries.Errors)
+	}
+}
+
+func TestRepeatedQuerySkipsRecompilation(t *testing.T) {
+	s := newTestService(t, Options{})
+	first := s.Stats().Cache
+	if first.Hits != 0 {
+		t.Fatalf("fresh cache has hits: %+v", first)
+	}
+	for i := 0; i < 5; i++ {
+		if resp := s.Eval(Request{Doc: "d1", Query: "//a/b", Strategy: "optimized"}); resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+	}
+	cs := s.Stats().Cache
+	// First evaluation compiles (one miss); the other four hit the LRU.
+	if cs.Misses != 1 || cs.Hits != 4 {
+		t.Errorf("hits/misses = %d/%d, want 4/1 (recompilation skipped)", cs.Hits, cs.Misses)
+	}
+	if cs.Size != 1 {
+		t.Errorf("cache size = %d, want 1", cs.Size)
+	}
+}
+
+func TestCacheKeyedPerDocument(t *testing.T) {
+	s := newTestService(t, Options{})
+	if _, err := s.Store().LoadXML("d2", []byte("<r><a><b/></a></r>")); err != nil {
+		t.Fatal(err)
+	}
+	s.Eval(Request{Doc: "d1", Query: "//a/b", Strategy: "optimized"})
+	s.Eval(Request{Doc: "d2", Query: "//a/b", Strategy: "optimized"})
+	if cs := s.Stats().Cache; cs.Size != 2 || cs.Misses != 2 {
+		t.Errorf("same query on two docs must compile per doc: %+v", cs)
+	}
+}
+
+func TestEvictPurgesCompiledQueries(t *testing.T) {
+	s := newTestService(t, Options{})
+	s.Eval(Request{Doc: "d1", Query: "//a/b", Strategy: "optimized"})
+	s.Eval(Request{Doc: "d1", Query: "//c", Strategy: "optimized"})
+	if got := s.Stats().Cache.Size; got != 2 {
+		t.Fatalf("cache size = %d, want 2", got)
+	}
+	if !s.EvictDoc("d1") {
+		t.Fatal("evict failed")
+	}
+	if got := s.Stats().Cache.Size; got != 0 {
+		t.Errorf("cache size after evict = %d, want 0", got)
+	}
+	if resp := s.Eval(Request{Doc: "d1", Query: "//a"}); resp.Err == "" {
+		t.Error("evicted doc must not answer")
+	}
+	if s.EvictDoc("d1") {
+		t.Error("double evict = true")
+	}
+}
+
+func TestReloadedDocGetsFreshCacheNamespace(t *testing.T) {
+	// An id evicted and reloaded with different content must never be
+	// answered from automata compiled against the old document — the
+	// engine generation in the cache key guarantees it even if a stale
+	// entry were re-inserted by an in-flight compile after the purge.
+	s := New(store.New(), Options{})
+	if _, err := s.Store().LoadXML("d", []byte("<r><a><b/></a></r>")); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.Eval(Request{Doc: "d", Query: "//b", Strategy: "optimized"}); resp.Count != 1 {
+		t.Fatalf("old doc count = %d, want 1", resp.Count)
+	}
+	if !s.EvictDoc("d") {
+		t.Fatal("evict failed")
+	}
+	if _, err := s.Store().LoadXML("d", []byte("<r><a><b/><b/><b/></a></r>")); err != nil {
+		t.Fatal(err)
+	}
+	resp := s.Eval(Request{Doc: "d", Query: "//b", Strategy: "optimized"})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	if resp.Count != 3 {
+		t.Errorf("reloaded doc count = %d, want 3 (stale automaton served?)", resp.Count)
+	}
+	// The reload compiled fresh: the second eval is a miss, not a hit.
+	if cs := s.Stats().Cache; cs.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (one per generation)", cs.Misses)
+	}
+}
+
+func TestStoreBypassReloadRebuildsEngine(t *testing.T) {
+	// Evict/reload done directly on the exposed Store() (bypassing
+	// Service.EvictDoc) must not leave a stale engine serving the old
+	// tree: engine() revalidates the store handle on every call.
+	s := New(store.New(), Options{})
+	if _, err := s.Store().LoadXML("d", []byte("<r><a><b/></a></r>")); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.Eval(Request{Doc: "d", Query: "//b"}); resp.Count != 1 {
+		t.Fatalf("old doc count = %d, want 1", resp.Count)
+	}
+	if !s.Store().Evict("d") {
+		t.Fatal("store evict failed")
+	}
+	if resp := s.Eval(Request{Doc: "d", Query: "//b"}); resp.Err == "" {
+		t.Error("evicted doc must not answer even with a cached engine")
+	}
+	if _, err := s.Store().LoadXML("d", []byte("<r><b/><b/><b/><b/></r>")); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.Eval(Request{Doc: "d", Query: "//b"}); resp.Count != 4 {
+		t.Errorf("reloaded doc count = %d, want 4 (stale engine served?)", resp.Count)
+	}
+}
+
+func TestNulDocIDRejected(t *testing.T) {
+	s := New(store.New(), Options{})
+	if _, err := s.Store().LoadXML("a\x00b", []byte("<r/>")); err == nil {
+		t.Error("NUL in doc id must be rejected (it aliases cache-key namespaces)")
+	}
+}
+
+func TestEvalBatchOrderAndResults(t *testing.T) {
+	s := New(store.New(), Options{Workers: 4})
+	if _, err := s.Store().GenerateXMark("xm", 0.002, 1); err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for _, q := range xmark.Queries() {
+		reqs = append(reqs, Request{Doc: "xm", Query: q.XPath})
+	}
+	// Sequential ground truth.
+	want := make([]Response, len(reqs))
+	for i, r := range reqs {
+		want[i] = s.Eval(r)
+	}
+	got := s.EvalBatch(reqs)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Err != "" {
+			t.Errorf("req %d (%s): %s", i, reqs[i].Query, got[i].Err)
+			continue
+		}
+		if got[i].Doc != want[i].Doc || got[i].Query != want[i].Query {
+			t.Errorf("req %d answered out of order: got (%s,%s)", i, got[i].Doc, got[i].Query)
+		}
+		if !reflect.DeepEqual(got[i].Nodes, want[i].Nodes) {
+			t.Errorf("req %d (%s): batch answer differs from sequential", i, reqs[i].Query)
+		}
+	}
+	if s.EvalBatch(nil) == nil {
+		t.Error("empty batch must return empty non-error slice")
+	}
+}
+
+func TestStatsHistogramAndStrategies(t *testing.T) {
+	s := newTestService(t, Options{})
+	queries := []string{"//a", "//b", "//c", "/r/a", "/r/a/b", "/r/c", "//a/b"}
+	for _, q := range queries {
+		if resp := s.Eval(Request{Doc: "d1", Query: q}); resp.Err != "" {
+			t.Fatalf("%s: %s", q, resp.Err)
+		}
+	}
+	qs := s.Stats().Queries
+	if qs.Total != 7 {
+		t.Fatalf("total = %d, want 7", qs.Total)
+	}
+	var inBuckets uint64
+	for _, b := range qs.Latency {
+		inBuckets += b.Count
+	}
+	if inBuckets != 7 {
+		t.Errorf("histogram counts sum to %d, want 7", inBuckets)
+	}
+	var byStrat uint64
+	for _, c := range qs.ByStrategy {
+		byStrat += c
+	}
+	if byStrat != 7 {
+		t.Errorf("by-strategy counts sum to %d, want 7", byStrat)
+	}
+	if qs.VisitedNodes == 0 || qs.SelectedNodes == 0 {
+		t.Errorf("visited/selected = %d/%d, want > 0", qs.VisitedNodes, qs.SelectedNodes)
+	}
+}

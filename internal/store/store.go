@@ -1,0 +1,211 @@
+// Package store is the document registry of the multi-document query
+// service: a concurrency-safe map from document id to an immutable
+// loaded document plus its jumping index. Documents arrive from three
+// sources — XML parsing, the binary tree serialization
+// (tree.WriteTo/tree.ReadDocument), or XMark generation — and the store
+// builds the index.Index exactly once per document, at load time, so
+// every engine and every query over that document shares it.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/tree"
+	"repro/internal/xmark"
+	"repro/internal/xmlparse"
+)
+
+// ErrExists is wrapped by Add when the document id is already taken;
+// callers branch on it with errors.Is (the HTTP layer maps it to 409).
+var ErrExists = errors.New("already loaded")
+
+// Source identifies how a document entered the store.
+type Source string
+
+// Document sources.
+const (
+	SourceXML    Source = "xml"
+	SourceBinary Source = "binary"
+	SourceXMark  Source = "xmark"
+	SourceDirect Source = "direct"
+)
+
+// Stats describes one resident document.
+type Stats struct {
+	ID string `json:"id"`
+	// Nodes counts all tree nodes including the synthetic root.
+	Nodes int `json:"nodes"`
+	// Labels is the alphabet size |Σ| (distinct element names plus the
+	// two reserved labels).
+	Labels int `json:"labels"`
+	// MemBytes estimates the resident size of the document plus its
+	// index (flat arrays, occurrence lists, text and label tables).
+	MemBytes int64     `json:"mem_bytes"`
+	Source   Source    `json:"source"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// Handle is an immutable view of one resident document. The document
+// and index never change after load, so a Handle stays valid after the
+// entry is evicted from the store.
+type Handle struct {
+	ID    string
+	Doc   *tree.Document
+	Index *index.Index
+	Stats Stats
+}
+
+// Store is a concurrency-safe registry of loaded documents.
+type Store struct {
+	mu   sync.RWMutex
+	docs map[string]*Handle
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{docs: make(map[string]*Handle)}
+}
+
+// Add registers an already-built document under id, building its index.
+// It fails if the id is taken (evict first to replace).
+func (s *Store) Add(id string, d *tree.Document, src Source) (*Handle, error) {
+	if id == "" {
+		return nil, fmt.Errorf("store: empty document id")
+	}
+	// NUL is the delimiter of the service's compiled-query cache keys;
+	// an id containing it would alias another document's namespace.
+	if strings.ContainsRune(id, 0) {
+		return nil, fmt.Errorf("store: document id must not contain NUL")
+	}
+	// Build the index outside the lock: it is the expensive part, and
+	// concurrent loads of distinct documents should overlap.
+	h := &Handle{ID: id, Doc: d, Index: index.New(d)}
+	h.Stats = Stats{
+		ID:       id,
+		Nodes:    d.NumNodes(),
+		Labels:   d.Names().Size(),
+		MemBytes: estimateBytes(d),
+		Source:   src,
+		LoadedAt: time.Now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.docs[id]; exists {
+		return nil, fmt.Errorf("store: document %q %w", id, ErrExists)
+	}
+	s.docs[id] = h
+	return h, nil
+}
+
+// LoadXML parses XML bytes and registers the document.
+func (s *Store) LoadXML(id string, src []byte) (*Handle, error) {
+	d, err := xmlparse.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("store: parsing %q: %w", id, err)
+	}
+	return s.Add(id, d, SourceXML)
+}
+
+// LoadXMLFile reads and parses an XML file and registers the document.
+func (s *Store) LoadXMLFile(id, path string) (*Handle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return s.LoadXML(id, data)
+}
+
+// LoadBinary reads a document in the tree.WriteTo format and registers
+// it; for large XMark trees this skips XML parsing entirely.
+func (s *Store) LoadBinary(id string, r io.Reader) (*Handle, error) {
+	d, err := tree.ReadDocument(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %q: %w", id, err)
+	}
+	return s.Add(id, d, SourceBinary)
+}
+
+// LoadBinaryFile reads a serialized document file and registers it.
+func (s *Store) LoadBinaryFile(id, path string) (*Handle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return s.LoadBinary(id, f)
+}
+
+// GenerateXMark generates a deterministic XMark document at the given
+// scale and registers it.
+func (s *Store) GenerateXMark(id string, scale float64, seed int64) (*Handle, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("store: xmark scale must be > 0, got %v", scale)
+	}
+	d := xmark.Generate(xmark.Config{Scale: scale, Seed: seed})
+	return s.Add(id, d, SourceXMark)
+}
+
+// Get returns the handle for id.
+func (s *Store) Get(id string) (*Handle, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.docs[id]
+	return h, ok
+}
+
+// Evict removes id from the store, reporting whether it was present.
+// Handles already obtained stay usable; the memory is reclaimed once
+// they are dropped.
+func (s *Store) Evict(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.docs[id]
+	delete(s.docs, id)
+	return ok
+}
+
+// List returns a snapshot of per-document stats sorted by id.
+func (s *Store) List() []Stats {
+	s.mu.RLock()
+	out := make([]Stats, 0, len(s.docs))
+	for _, h := range s.docs {
+		out = append(out, h.Stats)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of resident documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// estimateBytes approximates the resident size of a document and its
+// index: six per-node int32 arrays in the document (labels, parent,
+// firstChild, nextSibling, lastDesc, depth), two in the index
+// (occurrence lists partition the nodes; binEnd), text contents, and
+// the label table.
+func estimateBytes(d *tree.Document) int64 {
+	n := int64(d.NumNodes())
+	b := n * (6 + 2) * 4
+	for v := tree.NodeID(0); int(v) < d.NumNodes(); v++ {
+		if t := d.Text(v); t != "" {
+			b += int64(len(t)) + 16 // string header + map entry overhead
+		}
+	}
+	for _, name := range d.Names().Names() {
+		b += int64(len(name)) + 16
+	}
+	return b
+}

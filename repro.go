@@ -13,11 +13,13 @@
 //	    fmt.Println(doc.Path(v))
 //	}
 //
-// The package is a facade over the internal packages; see DESIGN.md for
-// the system inventory and EXPERIMENTS.md for the reproduced evaluation.
+// The package is a facade over the internal packages; see README.md for
+// usage (including the xpq CLI and the xpqd query daemon) and DESIGN.md
+// for the system inventory.
 package repro
 
 import (
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -78,6 +80,46 @@ func ParseXMLFile(path string) (*Document, error) {
 		return nil, err
 	}
 	return xmlparse.Parse(data)
+}
+
+// ParseStrategy maps a strategy name ("auto", "optimized", ...) to the
+// constant; ok is false for unknown names.
+func ParseStrategy(name string) (Strategy, bool) {
+	return core.ParseStrategy(name)
+}
+
+// SaveDocument writes d in the compact binary format; loading it back
+// with LoadDocument skips XML parsing entirely.
+func SaveDocument(w io.Writer, d *Document) (int64, error) {
+	return d.WriteTo(w)
+}
+
+// LoadDocument reads a document saved by SaveDocument.
+func LoadDocument(r io.Reader) (*Document, error) {
+	return tree.ReadDocument(r)
+}
+
+// SaveDocumentFile writes d to a file in the binary format.
+func SaveDocumentFile(path string, d *Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDocumentFile reads a binary document file.
+func LoadDocumentFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tree.ReadDocument(f)
 }
 
 // NewEngine builds an engine (and its jumping index) for a document.
