@@ -2,12 +2,17 @@
 // the multi-document query service (document store + compiled-query LRU
 // + batch evaluation + metrics).
 //
-//	xpqd [-addr localhost:8714] [-cache-size 256] [-workers N] [-allow-file-loads]
+//	xpqd [-addr localhost:8714] [-cache-size 256] [-cache-bytes N] [-workers N]
+//	     [-stream-chunk 512] [-allow-file-loads]
 //	     [-load id=file.xml ...] [-load-bin id=file.xqo ...] [-xmark id=scale[:seed] ...]
 //
 // Endpoints:
 //
 //	POST   /query      {"doc":"xm","query":"//listitem//keyword","strategy":"auto"}
+//	                   optional "limit" + "cursor" page the preorder answer;
+//	                   the response's "next" token resumes (410 after a reload)
+//	POST   /query/stream  same body; NDJSON header/chunk/trailer lines,
+//	                   flushed per chunk so large answers stream in bounded memory
 //	POST   /batch      {"requests":[{...},{...}]}
 //	GET    /docs       list resident documents with stats
 //	POST   /docs       {"id":"xm","xmark_scale":0.1} | {"id":"d","xml":"<r/>"} |
@@ -50,13 +55,15 @@ func (m *multiFlag) Set(v string) error {
 
 func main() {
 	var (
-		addr       = flag.String("addr", "localhost:8714", "listen address")
-		cacheSize  = flag.Int("cache-size", 256, "compiled-query LRU capacity (entries)")
-		workers    = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
-		allowFiles = flag.Bool("allow-file-loads", false, "let POST /docs read server-side file paths")
-		loads      multiFlag
-		loadBins   multiFlag
-		xmarks     multiFlag
+		addr        = flag.String("addr", "localhost:8714", "listen address")
+		cacheSize   = flag.Int("cache-size", 256, "compiled-query LRU capacity (entries)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "compiled-query LRU byte budget (0 = entries bound only)")
+		workers     = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		streamChunk = flag.Int("stream-chunk", service.DefaultStreamChunk, "nodes per /query/stream NDJSON chunk")
+		allowFiles  = flag.Bool("allow-file-loads", false, "let POST /docs read server-side file paths")
+		loads       multiFlag
+		loadBins    multiFlag
+		xmarks      multiFlag
 	)
 	flag.Var(&loads, "load", "preload an XML document, id=path (repeatable)")
 	flag.Var(&loadBins, "load-bin", "preload a binary-serialized document, id=path (repeatable)")
@@ -67,11 +74,18 @@ func main() {
 	if err := preload(st, loads, loadBins, xmarks); err != nil {
 		log.Fatalf("xpqd: %v", err)
 	}
-	svc := service.New(st, service.Options{CacheSize: *cacheSize, Workers: *workers})
+	svc := service.New(st, service.Options{
+		CacheSize:  *cacheSize,
+		CacheBytes: *cacheBytes,
+		Workers:    *workers,
+	})
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(svc, service.HandlerOptions{AllowFileLoads: *allowFiles}),
+		Addr: *addr,
+		Handler: service.NewHandler(svc, service.HandlerOptions{
+			AllowFileLoads: *allowFiles,
+			StreamChunk:    *streamChunk,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

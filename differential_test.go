@@ -1,0 +1,178 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/tree"
+	"repro/internal/xmark"
+)
+
+// The differential strategy-agreement harness: four independent
+// implementations of the same query semantics (step-wise joins, the
+// hybrid start-anywhere run, the minimized deterministic TDSTA with
+// topdown_jump, and the ASTA evaluator in its four configurations) plus
+// the Auto selector, run over the fifteen paper queries at three
+// document sizes, must produce identical preorder node sets — both
+// through the classic materializing path and through the new cursor
+// path. Any divergence is a correctness bug in at least one engine.
+
+var diffSizes = []struct {
+	name  string
+	scale float64
+	seed  int64
+}{
+	{"small", 0.002, 42},
+	{"medium", 0.008, 42},
+	{"large", 0.02, 42},
+}
+
+// diffStrategies are the cross-checked engines. Hybrid and TopDownDet
+// cover restricted fragments: a fragment error on a forced strategy is
+// a skip, not a failure (Auto never fails on fragment grounds).
+var diffStrategies = []core.Strategy{
+	core.Naive, core.Jumping, core.Memoized, core.Optimized,
+	core.Hybrid, core.TopDownDet, core.Auto,
+}
+
+func fragmentLimited(s core.Strategy) bool {
+	return s == core.Hybrid || s == core.TopDownDet
+}
+
+func equalNodes(a, b []tree.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectCursor drains an engine cursor through a deliberately small
+// batch buffer, checking strict preorder on the way.
+func collectCursor(t *testing.T, cur *core.Cursor, label string) []tree.NodeID {
+	t.Helper()
+	var out []tree.NodeID
+	buf := make([]tree.NodeID, 7)
+	for {
+		n := cur.NextBatch(buf)
+		if n == 0 {
+			return out
+		}
+		for _, v := range buf[:n] {
+			if len(out) > 0 && v <= out[len(out)-1] {
+				t.Fatalf("%s: cursor not strictly preorder: %d after %d", label, v, out[len(out)-1])
+			}
+			out = append(out, v)
+		}
+	}
+}
+
+func TestStrategyAgreementDifferential(t *testing.T) {
+	sizes := diffSizes
+	if testing.Short() {
+		sizes = diffSizes[:1]
+	}
+	for _, sz := range sizes {
+		sz := sz
+		t.Run(sz.name, func(t *testing.T) {
+			t.Parallel()
+			doc := xmark.Generate(xmark.Config{Scale: sz.scale, Seed: sz.seed})
+			eng := core.New(doc)
+			for _, q := range xmark.Queries() {
+				// The step-wise engine is the oracle: structurally the
+				// simplest implementation, farthest from the automata.
+				want, err := eng.QueryWith(q.XPath, core.Stepwise)
+				if err != nil {
+					t.Fatalf("%s: stepwise oracle: %v", q.ID, err)
+				}
+				for _, s := range diffStrategies {
+					ans, err := eng.QueryWith(q.XPath, s)
+					if err != nil {
+						if fragmentLimited(s) {
+							continue
+						}
+						t.Errorf("%s under %v: %v", q.ID, s, err)
+						continue
+					}
+					if !equalNodes(ans.Nodes, want.Nodes) {
+						t.Errorf("%s: %v answer (%d nodes) != stepwise (%d nodes)",
+							q.ID, s, len(ans.Nodes), len(want.Nodes))
+						continue
+					}
+					// Cursor path: same strategy, streamed through a
+					// small buffer, must agree node for node and report
+					// the same cardinality.
+					cur, err := eng.EvalCursor(q.XPath, s)
+					if err != nil {
+						t.Errorf("%s: EvalCursor under %v: %v", q.ID, s, err)
+						continue
+					}
+					if got := cur.Count(); got != len(want.Nodes) {
+						t.Errorf("%s: %v cursor Count()=%d, want %d", q.ID, s, got, len(want.Nodes))
+					}
+					if got := collectCursor(t, cur, q.ID); !equalNodes(got, want.Nodes) {
+						t.Errorf("%s: %v cursor stream (%d nodes) != stepwise (%d nodes)",
+							q.ID, s, len(got), len(want.Nodes))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCursorPagingMatchesOneShot pages every paper query through the
+// service's limit/cursor protocol with a tiny page size and checks that
+// the concatenated pages reproduce the one-shot answer exactly, for
+// every strategy reachable over the wire.
+func TestCursorPagingMatchesOneShot(t *testing.T) {
+	svc := service.New(store.New(), service.Options{})
+	if _, err := svc.Store().GenerateXMark("xm", 0.004, 9); err != nil {
+		t.Fatal(err)
+	}
+	strategies := []string{"stepwise", "naive", "optimized", "hybrid", "topdown-det", "auto"}
+	for _, q := range xmark.Queries() {
+		for _, strat := range strategies {
+			one := svc.Eval(service.Request{Doc: "xm", Query: q.XPath, Strategy: strat})
+			if one.Err != "" {
+				if strat == "hybrid" || strat == "topdown-det" {
+					continue
+				}
+				t.Fatalf("%s %s: %s", q.ID, strat, one.Err)
+			}
+			if one.Next != "" {
+				t.Errorf("%s %s: unlimited answer handed out a cursor", q.ID, strat)
+			}
+			var paged []tree.NodeID
+			cursor := ""
+			for page := 0; ; page++ {
+				resp := svc.Eval(service.Request{
+					Doc: "xm", Query: q.XPath, Strategy: strat, Limit: 7, Cursor: cursor,
+				})
+				if resp.Err != "" {
+					t.Fatalf("%s %s page %d: %s", q.ID, strat, page, resp.Err)
+				}
+				if resp.Count != one.Count {
+					t.Fatalf("%s %s page %d: Count=%d, one-shot %d", q.ID, strat, page, resp.Count, one.Count)
+				}
+				paged = append(paged, resp.Nodes...)
+				if resp.Next == "" {
+					break
+				}
+				cursor = resp.Next
+				if len(paged) > one.Count {
+					t.Fatalf("%s %s: paging ran past the one-shot answer", q.ID, strat)
+				}
+			}
+			if !equalNodes(paged, one.Nodes) {
+				t.Errorf("%s %s: paged answer (%d nodes) != one-shot (%d nodes)",
+					q.ID, strat, len(paged), len(one.Nodes))
+			}
+		}
+	}
+}

@@ -253,6 +253,33 @@ func (a *ASTA) computeMarking() StateSet {
 	return m
 }
 
+// SizeBytes estimates the resident size of the compiled automaton:
+// transitions with their guard sets and formula trees, plus the lookup
+// structures built by Finalize. The byte-weighted compiled-query LRU
+// weighs cache entries with it, so the estimate only needs to be
+// proportionally honest, not exact.
+func (a *ASTA) SizeBytes() int64 {
+	const (
+		formulaNode = 40 // Kind + two pointers + Child + Q, padded
+		transFixed  = 64 // Transition struct less the guard's backing
+	)
+	b := int64(128) // ASTA header: NumStates, Top, marking, slice headers
+	for i := range a.Trans {
+		t := &a.Trans[i]
+		b += transFixed + t.Guard.SizeBytes()
+		if t.Phi != nil {
+			b += int64(t.Phi.Size()) * formulaNode
+		}
+	}
+	for _, row := range a.byFrom {
+		b += 24 + 4*int64(len(row))
+	}
+	for _, s := range a.selOf {
+		b += s.SizeBytes()
+	}
+	return b
+}
+
 // SelectingLabels returns the labels on which q selects.
 func (a *ASTA) SelectingLabels(q State) labels.Set { return a.selOf[q] }
 

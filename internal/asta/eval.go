@@ -37,15 +37,69 @@ type Stats struct {
 type Result struct {
 	// Accepted reports whether some run reaches a top state at the root.
 	Accepted bool
-	// Selected is A(t) in document order, duplicate-free.
+	// Selected is A(t) in document order, duplicate-free. EvalLazy
+	// leaves it nil; use List (or Walk) to consume the answer without
+	// materializing it.
 	Selected []tree.NodeID
+	// List is the raw result rope in concatenation order, possibly
+	// with duplicates. EvalLazy sets it for non-empty answers (nil
+	// means empty); Eval clears it after flattening so materialized
+	// results do not pin the evaluation arena. The rope shares that
+	// arena and stays valid for as long as the Result references it.
+	List *NodeList
 	// Stats reports effort counters.
 	Stats Stats
 }
 
-// Eval runs the automaton over the document with the given options. The
-// index may be nil when Options.Jump is false.
+// Walk calls f for each selected node in document order without
+// duplicates, stopping early when f returns false. When the rope is
+// already in document order (the common case — evaluation emits nodes
+// in preorder) nothing is materialized; otherwise it falls back to one
+// Flatten.
+func (r *Result) Walk(f func(tree.NodeID) bool) {
+	if r.List == nil {
+		for _, v := range r.Selected {
+			if !f(v) {
+				return
+			}
+		}
+		return
+	}
+	if r.List.IsSorted() {
+		last, started := tree.Nil, false
+		r.List.Walk(func(v tree.NodeID) bool {
+			if started && v == last {
+				return true
+			}
+			last, started = v, true
+			return f(v)
+		})
+		return
+	}
+	for _, v := range r.List.Flatten() {
+		if !f(v) {
+			return
+		}
+	}
+}
+
+// Eval runs the automaton over the document with the given options and
+// materializes the answer. The index may be nil when Options.Jump is
+// false.
 func (a *ASTA) Eval(d *tree.Document, ix *index.Index, opt Options) Result {
+	res := a.EvalLazy(d, ix, opt)
+	res.Selected = res.List.Flatten()
+	// Drop the rope: materialized callers read Selected, and keeping
+	// the rope alive would pin every arena chunk it reaches.
+	res.List = nil
+	return res
+}
+
+// EvalLazy is Eval without the final Flatten: the answer is returned as
+// the rope Result.List, to be consumed by Walk or a cursor. This is the
+// entry point of the streaming path — a ≥100k-node answer never exists
+// as one slice.
+func (a *ASTA) EvalLazy(d *tree.Document, ix *index.Index, opt Options) Result {
 	e := &evaluator{a: a, d: d, ix: ix, opt: opt}
 	if opt.Memo {
 		e.setIDs = make(map[StateSet]int32, 16)
@@ -66,7 +120,7 @@ func (a *ASTA) Eval(d *tree.Document, ix *index.Index, opt Options) Result {
 	acc.Each(func(q State) {
 		all = concat(all, g.List(q))
 	})
-	res.Selected = all.Flatten()
+	res.List = all
 	return res
 }
 

@@ -66,6 +66,81 @@ func (a *cellArena) concat(x, y *NodeList) *NodeList {
 	return c
 }
 
+// Walk calls f on every leaf in concatenation order (duplicates
+// included), stopping early when f returns false; it reports whether the
+// walk ran to completion. Unlike Flatten it allocates no output slice,
+// which is what lets large answers be consumed incrementally.
+func (nl *NodeList) Walk(f func(tree.NodeID) bool) bool {
+	it := nl.Iter()
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return true
+		}
+		if !f(v) {
+			return false
+		}
+	}
+}
+
+// IsSorted reports whether the concatenation order is non-decreasing —
+// i.e. already document order up to duplicates. Evaluation emits nodes
+// in document order for the overwhelming majority of queries (Flatten
+// exploits the same property); IsSorted is the O(n), zero-allocation
+// check that lets a cursor stream the rope directly.
+func (nl *NodeList) IsSorted() bool {
+	prev := tree.Nil
+	return nl.Walk(func(v tree.NodeID) bool {
+		if prev != tree.Nil && v < prev {
+			return false
+		}
+		prev = v
+		return true
+	})
+}
+
+// Iter returns a resumable leaf iterator in concatenation order. The
+// rope is immutable, so an Iter stays valid for as long as the rope.
+func (nl *NodeList) Iter() *Iter {
+	it := &Iter{}
+	if nl != nil {
+		it.stack = append(it.stack, nl)
+	}
+	return it
+}
+
+// Iter streams a rope's leaves without materializing them. The stack
+// holds the unvisited right spines; its depth is bounded by the rope
+// height. Evaluation accumulates ropes left-to-right, so answers are
+// left-leaning and the first Next can push O(answer) right-child
+// pointers — transient and still cheaper than slice+JSON delivery, but
+// not O(log n); balancing the rope is a known open item (ROADMAP).
+type Iter struct {
+	stack []*NodeList
+}
+
+// Next returns the next leaf value, with ok=false once exhausted.
+func (it *Iter) Next() (tree.NodeID, bool) {
+	for len(it.stack) > 0 {
+		n := it.stack[len(it.stack)-1]
+		it.stack = it.stack[:len(it.stack)-1]
+		for {
+			if n.l == nil && n.r == nil {
+				return n.v, true
+			}
+			// Interior node: descend left, deferring the right child.
+			if n.r != nil {
+				it.stack = append(it.stack, n.r)
+			}
+			if n.l == nil {
+				break
+			}
+			n = n.l
+		}
+	}
+	return tree.Nil, false
+}
+
 // Flatten returns the nodes of the rope in concatenation order, sorted
 // into document order and deduplicated (unions of overlapping result
 // lists can repeat a node).

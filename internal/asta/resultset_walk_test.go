@@ -1,0 +1,108 @@
+package asta
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func ropeOf(ids ...tree.NodeID) *NodeList {
+	var nl *NodeList
+	for _, v := range ids {
+		nl = concat(nl, single(v))
+	}
+	return nl
+}
+
+func TestNodeListWalkAndIter(t *testing.T) {
+	nl := concat(ropeOf(1, 3), concat(ropeOf(5), ropeOf(7, 9)))
+	var got []tree.NodeID
+	if done := nl.Walk(func(v tree.NodeID) bool { got = append(got, v); return true }); !done {
+		t.Fatal("full walk must report completion")
+	}
+	want := []tree.NodeID{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("walked %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walked %v, want %v", got, want)
+		}
+	}
+	// Early stop: Walk must report the abort and visit nothing more.
+	n := 0
+	if done := nl.Walk(func(tree.NodeID) bool { n++; return n < 3 }); done || n != 3 {
+		t.Fatalf("early stop: done=%v after %d visits", done, n)
+	}
+	// Iter agrees with Walk element for element.
+	it := nl.Iter()
+	for _, w := range want {
+		v, ok := it.Next()
+		if !ok || v != w {
+			t.Fatalf("Iter yielded (%d,%v), want %d", v, ok, w)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("Iter must be exhausted")
+	}
+	// Nil rope: empty walk, empty iter.
+	var empty *NodeList
+	if !empty.Walk(func(tree.NodeID) bool { t.Fatal("walked a nil rope"); return true }) {
+		t.Fatal("nil walk must complete")
+	}
+}
+
+func TestNodeListIsSorted(t *testing.T) {
+	if !ropeOf(1, 2, 2, 5).IsSorted() {
+		t.Error("non-decreasing rope must be sorted")
+	}
+	if ropeOf(1, 5, 3).IsSorted() {
+		t.Error("out-of-order rope must not be sorted")
+	}
+	var empty *NodeList
+	if !empty.IsSorted() {
+		t.Error("empty rope is trivially sorted")
+	}
+}
+
+func TestResultWalk(t *testing.T) {
+	collect := func(r *Result) []tree.NodeID {
+		var got []tree.NodeID
+		r.Walk(func(v tree.NodeID) bool { got = append(got, v); return true })
+		return got
+	}
+	eq := func(got []tree.NodeID, want ...tree.NodeID) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Sorted rope: streamed with adjacent-duplicate skipping.
+	sorted := &Result{List: ropeOf(1, 2, 2, 5)}
+	if got := collect(sorted); !eq(got, 1, 2, 5) {
+		t.Errorf("sorted rope walk = %v, want [1 2 5]", got)
+	}
+	// Unsorted rope: falls back to one Flatten (sorted, deduped).
+	unsorted := &Result{List: ropeOf(5, 1, 3, 1)}
+	if got := collect(unsorted); !eq(got, 1, 3, 5) {
+		t.Errorf("unsorted rope walk = %v, want [1 3 5]", got)
+	}
+	// Materialized result (Eval cleared the rope): walks Selected.
+	mat := &Result{Selected: []tree.NodeID{2, 4}}
+	if got := collect(mat); !eq(got, 2, 4) {
+		t.Errorf("materialized walk = %v, want [2 4]", got)
+	}
+	// Early stop on every representation.
+	for name, r := range map[string]*Result{"rope": sorted, "slice": mat} {
+		n := 0
+		r.Walk(func(tree.NodeID) bool { n++; return false })
+		if n != 1 {
+			t.Errorf("%s: early stop visited %d nodes, want 1", name, n)
+		}
+	}
+}

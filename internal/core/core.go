@@ -19,12 +19,8 @@ import (
 	"fmt"
 
 	"repro/internal/asta"
-	"repro/internal/compile"
-	"repro/internal/hybrid"
 	"repro/internal/index"
 	"repro/internal/qcache"
-	"repro/internal/sta"
-	"repro/internal/stepwise"
 	"repro/internal/tree"
 	"repro/internal/xpath"
 )
@@ -173,41 +169,21 @@ func (e *Engine) Query(query string) (*Answer, error) {
 
 // QueryWith evaluates with an explicit strategy. Forcing Hybrid or
 // TopDownDet on a query outside their fragments returns an error; Auto
-// never fails on fragment grounds.
+// never fails on fragment grounds. (Auto falls back to the step-wise
+// engine for features outside the automata fragment — backward axes,
+// text functions — like the paper's black-box handling of XPath 1.0
+// functions, §6.) It is the materializing counterpart of EvalCursor and
+// shares its evaluation path.
 func (e *Engine) QueryWith(query string, s Strategy) (*Answer, error) {
 	p, err := xpath.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	switch s {
-	case Stepwise:
-		res := stepwise.Eval(e.doc, p, stepwise.Default())
-		return &Answer{Nodes: res.Selected, Strategy: Stepwise, Visited: res.Stats.Visited}, nil
-	case Hybrid:
-		res, err := hybrid.Eval(e.doc, e.ix, p)
-		if err != nil {
-			return nil, err
-		}
-		return &Answer{Nodes: res.Selected, Strategy: Hybrid, Visited: res.Stats.Visited}, nil
-	case TopDownDet:
-		v, _, err := e.cache.GetOrCompile(e.cacheKey("tdsta", query), func() (any, error) {
-			aut, err := compile.ToTDSTA(p, e.doc.Names())
-			if err != nil {
-				return nil, err
-			}
-			return aut.MinimizeTopDown(), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		res := v.(*sta.STA).EvalTopDownJump(e.doc, e.ix)
-		return &Answer{Nodes: res.Selected, Strategy: TopDownDet, Visited: res.Visited}, nil
-	case Naive, Jumping, Memoized, Optimized:
-		return e.runASTA(query, p, s)
-	case Auto:
-		return e.auto(query, p)
+	c, err := e.evalCursor(query, p, s)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("core: unknown strategy %v", s)
+	return c.materialize(), nil
 }
 
 func astaOptions(s Strategy) asta.Options {
@@ -221,47 +197,6 @@ func astaOptions(s Strategy) asta.Options {
 	default:
 		return asta.Opt()
 	}
-}
-
-func (e *Engine) runASTA(query string, p *xpath.Path, s Strategy) (*Answer, error) {
-	// The compiled ASTA is strategy-independent (jumping/memoization are
-	// evaluation options), so all four ASTA strategies share one entry.
-	v, _, err := e.cache.GetOrCompile(e.cacheKey("asta", query), func() (any, error) {
-		return compile.ToASTA(p, e.doc.Names())
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := v.(*asta.ASTA).Eval(e.doc, e.ix, astaOptions(s))
-	return &Answer{
-		Nodes:       res.Selected,
-		Strategy:    s,
-		Visited:     res.Stats.Visited,
-		MemoEntries: res.Stats.MemoEntries,
-	}, nil
-}
-
-// auto chooses the strategy for a query: hybrid when a chain label is
-// rare, otherwise the fully optimized ASTA evaluator. (The TDSTA path is
-// available explicitly; the ASTA engine subsumes its jumps, so Auto
-// prefers the uniform pipeline.)
-func (e *Engine) auto(query string, p *xpath.Path) (*Answer, error) {
-	if min, max, ok := e.chainCounts(p); ok && max > 0 &&
-		float64(min) <= hybridCountFraction*float64(max) {
-		res, err := hybrid.Eval(e.doc, e.ix, p)
-		if err == nil {
-			return &Answer{Nodes: res.Selected, Strategy: Hybrid, Visited: res.Stats.Visited}, nil
-		}
-	}
-	ans, err := e.runASTA(query, p, Optimized)
-	if err != nil {
-		// Features outside the automata fragment (backward axes, text
-		// functions) run step-wise, like the paper's black-box handling
-		// of XPath 1.0 functions (§6).
-		res := stepwise.Eval(e.doc, p, stepwise.Default())
-		return &Answer{Nodes: res.Selected, Strategy: Stepwise, Visited: res.Stats.Visited}, nil
-	}
-	return ans, nil
 }
 
 // chainCounts returns the min and max global label counts of a chain

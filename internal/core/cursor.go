@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asta"
+	"repro/internal/compile"
+	"repro/internal/hybrid"
+	"repro/internal/sta"
+	"repro/internal/stepwise"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+// Cursor is a resumable, preorder-sorted, duplicate-free view of one
+// evaluation's answer. It is the engine's streaming surface: ASTA
+// answers whose result rope is already in document order (the common
+// case) are streamed leaf by leaf without ever materializing the node
+// slice; everything else falls back to the materialized slice. A Cursor
+// is single-use and not safe for concurrent use; resumption across
+// requests re-evaluates (hitting the compiled-automaton cache) and
+// seeks with SeekPast.
+type Cursor struct {
+	strategy    Strategy
+	visited     int
+	memoEntries int
+
+	// Rope-backed stream (sorted ASTA answers): it walks rope; last is
+	// the most recently emitted (or seeked-past) node for dedup/resume.
+	rope    *asta.NodeList
+	it      *asta.Iter
+	last    tree.NodeID
+	started bool
+	// ready is set once ensure decided between rope streaming and the
+	// slice fallback; the decision is deferred to the first read so
+	// materialize() never pays the IsSorted probe.
+	ready bool
+
+	// Slice-backed fallback (other strategies, unsorted ropes).
+	nodes []tree.NodeID
+	pos   int
+
+	// total caches Count; -1 = not yet computed (rope-backed).
+	total int
+}
+
+func newSliceCursor(nodes []tree.NodeID, s Strategy, visited, memo int) *Cursor {
+	return &Cursor{strategy: s, visited: visited, memoEntries: memo,
+		ready: true, nodes: nodes, total: len(nodes)}
+}
+
+func newRopeCursor(r *asta.NodeList, s Strategy, visited, memo int) *Cursor {
+	return &Cursor{strategy: s, visited: visited, memoEntries: memo,
+		rope: r, total: -1}
+}
+
+// ensure decides the streaming representation on first read: a rope in
+// document order streams in place (adjacent-duplicate skipping doubles
+// as dedup), anything else flattens once. Deferring the O(n) IsSorted
+// probe to here keeps the materializing path (QueryWith) at exactly
+// one rope traversal — the Flatten it always paid.
+func (c *Cursor) ensure() {
+	if c.ready {
+		return
+	}
+	c.ready = true
+	if c.rope.IsSorted() {
+		c.it = c.rope.Iter()
+		return
+	}
+	c.nodes = c.rope.Flatten()
+	c.total = len(c.nodes)
+	c.rope = nil
+}
+
+// Strategy is the strategy that actually ran (never Auto).
+func (c *Cursor) Strategy() Strategy { return c.strategy }
+
+// Visited counts the nodes the run touched.
+func (c *Cursor) Visited() int { return c.visited }
+
+// MemoEntries counts memoized configurations (ASTA engines only).
+func (c *Cursor) MemoEntries() int { return c.memoEntries }
+
+// Count returns the full answer cardinality, independent of the read
+// position. For rope-backed cursors the first call walks the rope once
+// (no allocation) and the result is cached.
+func (c *Cursor) Count() int {
+	if c.total >= 0 {
+		return c.total
+	}
+	c.ensure()
+	if c.total >= 0 {
+		return c.total
+	}
+	n, last, started := 0, tree.Nil, false
+	c.rope.Walk(func(v tree.NodeID) bool {
+		if !started || v != last {
+			n++
+		}
+		last, started = v, true
+		return true
+	})
+	c.total = n
+	return n
+}
+
+// SeekPast positions the cursor just after node v in preorder, so the
+// next read returns the first answer node > v. It must be called before
+// the first Next/NextBatch; it is how a continuation token resumes a
+// paged answer.
+func (c *Cursor) SeekPast(v tree.NodeID) {
+	c.ensure()
+	if c.it != nil {
+		c.last, c.started = v, true
+		return
+	}
+	c.pos = sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i] > v })
+}
+
+// Next returns the next answer node in preorder, with ok=false once the
+// answer is exhausted.
+func (c *Cursor) Next() (tree.NodeID, bool) {
+	c.ensure()
+	if c.it != nil {
+		for {
+			v, ok := c.it.Next()
+			if !ok {
+				return tree.Nil, false
+			}
+			// Sorted rope: skipping v <= last both deduplicates and
+			// implements SeekPast.
+			if c.started && v <= c.last {
+				continue
+			}
+			c.last, c.started = v, true
+			return v, true
+		}
+	}
+	if c.pos >= len(c.nodes) {
+		return tree.Nil, false
+	}
+	v := c.nodes[c.pos]
+	c.pos++
+	return v, true
+}
+
+// NextBatch fills dst with the next nodes in preorder and returns how
+// many were written; 0 means the answer is exhausted.
+func (c *Cursor) NextBatch(dst []tree.NodeID) int {
+	n := 0
+	for n < len(dst) {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n
+}
+
+// materialize converts a freshly created (unread) cursor into the
+// classic Answer; rope-backed cursors pay the one Flatten the
+// materializing path always paid (and, because ensure has not run,
+// nothing else).
+func (c *Cursor) materialize() *Answer {
+	nodes := c.nodes
+	if nodes == nil && c.rope != nil {
+		nodes = c.rope.Flatten()
+	}
+	return &Answer{
+		Nodes:       nodes,
+		Strategy:    c.strategy,
+		Visited:     c.visited,
+		MemoEntries: c.memoEntries,
+	}
+}
+
+// EvalCursor evaluates a query and returns a cursor over the
+// preorder-sorted answer, without materializing it when the strategy's
+// result representation allows (ASTA ropes in document order). The
+// strategy semantics match QueryWith.
+func (e *Engine) EvalCursor(query string, s Strategy) (*Cursor, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.evalCursor(query, p, s)
+}
+
+func (e *Engine) evalCursor(query string, p *xpath.Path, s Strategy) (*Cursor, error) {
+	switch s {
+	case Stepwise:
+		res := stepwise.Eval(e.doc, p, stepwise.Default())
+		return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
+	case Hybrid:
+		res, err := hybrid.Eval(e.doc, e.ix, p)
+		if err != nil {
+			return nil, err
+		}
+		return newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0), nil
+	case TopDownDet:
+		v, _, err := e.cache.GetOrCompile(e.cacheKey("tdsta", query), func() (any, error) {
+			aut, err := compile.ToTDSTA(p, e.doc.Names())
+			if err != nil {
+				return nil, err
+			}
+			return aut.MinimizeTopDown(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := v.(*sta.STA).EvalTopDownJump(e.doc, e.ix)
+		return newSliceCursor(res.Selected, TopDownDet, res.Visited, 0), nil
+	case Naive, Jumping, Memoized, Optimized:
+		return e.astaCursor(query, p, s)
+	case Auto:
+		return e.autoCursor(query, p)
+	}
+	return nil, fmt.Errorf("core: unknown strategy %v", s)
+}
+
+// astaCursor runs the ASTA evaluator lazily and wraps the result rope:
+// sorted ropes stream directly, unsorted ones (rare — out-of-order
+// unions from jumped regions) flatten once.
+func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy) (*Cursor, error) {
+	v, _, err := e.cache.GetOrCompile(e.cacheKey("asta", query), func() (any, error) {
+		return compile.ToASTA(p, e.doc.Names())
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := v.(*asta.ASTA).EvalLazy(e.doc, e.ix, astaOptions(s))
+	if res.List == nil {
+		return newSliceCursor(nil, s, res.Stats.Visited, res.Stats.MemoEntries), nil
+	}
+	return newRopeCursor(res.List, s, res.Stats.Visited, res.Stats.MemoEntries), nil
+}
+
+// autoCursor mirrors the Auto strategy choice of QueryWith: hybrid when
+// a chain label is rare, the optimized ASTA evaluator otherwise, and
+// the step-wise engine for features outside the automata fragment.
+func (e *Engine) autoCursor(query string, p *xpath.Path) (*Cursor, error) {
+	if min, max, ok := e.chainCounts(p); ok && max > 0 &&
+		float64(min) <= hybridCountFraction*float64(max) {
+		res, err := hybrid.Eval(e.doc, e.ix, p)
+		if err == nil {
+			return newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0), nil
+		}
+	}
+	c, err := e.astaCursor(query, p, Optimized)
+	if err != nil {
+		res := stepwise.Eval(e.doc, p, stepwise.Default())
+		return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
+	}
+	return c, nil
+}

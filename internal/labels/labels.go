@@ -69,6 +69,11 @@ func (s Set) IsEmpty() bool { return !s.neg && len(s.ids) == 0 }
 // IsAny reports whether the set is all of Σ.
 func (s Set) IsAny() bool { return s.neg && len(s.ids) == 0 }
 
+// SizeBytes estimates the heap footprint of the set (value header plus
+// backing label slice); byte-weighted caches of automata that embed
+// sets sum it into their entry weights.
+func (s Set) SizeBytes() int64 { return 32 + 4*int64(len(s.ids)) }
+
 // Finite reports whether the set is finite, and if so returns its
 // elements in sorted order. Jumping functions require finite sets.
 func (s Set) Finite() ([]tree.LabelID, bool) {

@@ -20,10 +20,12 @@ import (
 )
 
 // Cache is a concurrency-safe LRU keyed by string. The zero value is not
-// usable; call New.
+// usable; call New or NewSized.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
+	maxBytes int64 // 0 = no byte bound
+	curBytes int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	inflight map[string]*call
@@ -34,8 +36,30 @@ type Cache struct {
 }
 
 type entry struct {
-	key string
-	val any
+	key  string
+	val  any
+	size int64
+}
+
+// Sizer lets cached values report their heap footprint, so the LRU can
+// bound bytes instead of entry count: one huge `//a[...]//b[...]` ASTA
+// weighs what it costs, not the same as a three-state chain automaton.
+// Values without it are charged DefaultEntryBytes.
+type Sizer interface {
+	SizeBytes() int64
+}
+
+// DefaultEntryBytes is the weight charged to values that do not
+// implement Sizer — roughly a small compiled automaton.
+const DefaultEntryBytes = 2048
+
+func entrySize(val any) int64 {
+	if s, ok := val.(Sizer); ok {
+		if n := s.SizeBytes(); n > 0 {
+			return n
+		}
+	}
+	return DefaultEntryBytes
 }
 
 // call is an in-flight compilation other goroutines wait on.
@@ -51,11 +75,24 @@ const DefaultCapacity = 256
 // New returns a cache holding at most capacity entries; capacity <= 0
 // falls back to DefaultCapacity.
 func New(capacity int) *Cache {
+	return NewSized(capacity, 0)
+}
+
+// NewSized returns a cache bounded by both an entry count and a byte
+// budget (0 = entries only). Entry weights come from the values' Sizer
+// implementation; eviction runs from the LRU tail until both bounds
+// hold, but never evicts the entry just inserted (an oversize automaton
+// is admitted alone rather than thrashing).
+func NewSized(capacity int, maxBytes int64) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &Cache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		inflight: make(map[string]*call),
@@ -133,18 +170,26 @@ func (c *Cache) Put(key string, val any) {
 	c.add(key, val)
 }
 
-// add inserts under c.mu, evicting from the LRU tail past capacity.
+// add inserts under c.mu, evicting from the LRU tail while either bound
+// (entry count, byte budget) is exceeded.
 func (c *Cache) add(key string, val any) {
+	size := entrySize(val)
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).val = val
+		e := el.Value.(*entry)
+		c.curBytes += size - e.size
+		e.val, e.size = val, size
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, size: size})
+		c.curBytes += size
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
-	for c.ll.Len() > c.capacity {
+	for c.ll.Len() > c.capacity ||
+		(c.maxBytes > 0 && c.curBytes > c.maxBytes && c.ll.Len() > 1) {
 		tail := c.ll.Back()
+		e := tail.Value.(*entry)
 		c.ll.Remove(tail)
-		delete(c.items, tail.Value.(*entry).key)
+		delete(c.items, e.key)
+		c.curBytes -= e.size
 		c.evictions++
 	}
 }
@@ -155,6 +200,7 @@ func (c *Cache) Remove(key string) bool {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if ok {
+		c.curBytes -= el.Value.(*entry).size
 		c.ll.Remove(el)
 		delete(c.items, key)
 	}
@@ -171,6 +217,7 @@ func (c *Cache) RemovePrefix(prefix string) int {
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		if e := el.Value.(*entry); strings.HasPrefix(e.key, prefix) {
+			c.curBytes -= e.size
 			c.ll.Remove(el)
 			delete(c.items, e.key)
 			n++
@@ -189,8 +236,12 @@ func (c *Cache) Len() int {
 
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+	// SizeBytes is the summed weight of resident entries; MaxBytes is
+	// the byte budget (0 = unbounded, entry count only).
+	SizeBytes int64  `json:"size_bytes"`
+	MaxBytes  int64  `json:"max_bytes,omitempty"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
@@ -212,6 +263,8 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Size:      c.ll.Len(),
 		Capacity:  c.capacity,
+		SizeBytes: c.curBytes,
+		MaxBytes:  c.maxBytes,
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,

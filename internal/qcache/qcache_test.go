@@ -174,3 +174,104 @@ func TestRemovePrefix(t *testing.T) {
 		t.Error("doc2 entries must survive")
 	}
 }
+
+// sized is a test value with an explicit Sizer weight.
+type sized int64
+
+func (s sized) SizeBytes() int64 { return int64(s) }
+
+// TestByteBudgetEviction: with a byte budget, eviction is by summed
+// entry weight in LRU order, not by entry count.
+func TestByteBudgetEviction(t *testing.T) {
+	c := NewSized(100, 100)
+	c.Put("small-a", sized(20))
+	c.Put("small-b", sized(20))
+	c.Put("big", sized(50)) // 90 bytes resident, all fit
+	if got := c.Stats().SizeBytes; got != 90 {
+		t.Fatalf("SizeBytes = %d, want 90", got)
+	}
+	// 40 more bytes exceed the budget: the two LRU-oldest entries
+	// (small-a, small-b) must go; evicting only one would not suffice.
+	c.Put("mid", sized(40))
+	if _, ok := c.Get("small-a"); ok {
+		t.Error("small-a should have been evicted (LRU under byte pressure)")
+	}
+	if _, ok := c.Get("small-b"); ok {
+		t.Error("small-b should have been evicted (one eviction was not enough)")
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Error("big must survive: budget holds after evicting the two older entries")
+	}
+	if got := c.Stats().SizeBytes; got != 90 {
+		t.Fatalf("SizeBytes after eviction = %d, want 90", got)
+	}
+}
+
+// TestByteBudgetLRUOrderWithTouch: a Get refreshes recency, changing
+// which mixed-size entries fall to byte pressure.
+func TestByteBudgetLRUOrderWithTouch(t *testing.T) {
+	c := NewSized(100, 100)
+	c.Put("a", sized(40))
+	c.Put("b", sized(40))
+	c.Get("a") // a is now more recent than b
+	c.Put("cc", sized(40))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b was LRU and should have been evicted")
+	}
+	for _, k := range []string{"a", "cc"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+}
+
+// TestOversizeEntryAdmitted: one entry larger than the whole budget is
+// admitted alone instead of thrashing the cache empty.
+func TestOversizeEntryAdmitted(t *testing.T) {
+	c := NewSized(100, 100)
+	c.Put("a", sized(30))
+	c.Put("huge", sized(500))
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("oversize entry must be admitted (alone)")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should have been evicted to make room")
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+}
+
+// TestByteAccountingOnReplaceAndRemove: replacement adjusts the resident
+// weight; Remove and RemovePrefix give bytes back.
+func TestByteAccountingOnReplaceAndRemove(t *testing.T) {
+	c := NewSized(100, 1000)
+	c.Put("k", sized(100))
+	c.Put("k", sized(40)) // replace shrinks
+	if got := c.Stats().SizeBytes; got != 40 {
+		t.Fatalf("after replace SizeBytes = %d, want 40", got)
+	}
+	c.Put("p\x00x", sized(60))
+	c.Put("p\x00y", sized(70))
+	c.RemovePrefix("p\x00")
+	if got := c.Stats().SizeBytes; got != 40 {
+		t.Fatalf("after RemovePrefix SizeBytes = %d, want 40", got)
+	}
+	c.Remove("k")
+	if got := c.Stats().SizeBytes; got != 0 {
+		t.Fatalf("after Remove SizeBytes = %d, want 0", got)
+	}
+}
+
+// TestDefaultWeightForOpaqueValues: values without Sizer cost
+// DefaultEntryBytes, keeping the byte bound meaningful for mixed
+// caches.
+func TestDefaultWeightForOpaqueValues(t *testing.T) {
+	c := NewSized(100, 10*DefaultEntryBytes)
+	for i := 0; i < 12; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if got := c.Len(); got != 10 {
+		t.Errorf("Len = %d, want 10 (byte budget of 10 default weights)", got)
+	}
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Continuation tokens are opaque to clients but deliberately cheap for
+// the server: base64url("c1\0doc\0generation\0lastNode"). The document
+// id and generation pin the token to one loaded instance of one
+// document — a resume after evict/reload decodes fine but fails the
+// generation check, which is what keeps paged answers from silently
+// mixing two trees. No server-side state is kept per cursor: resuming
+// re-evaluates (hitting the compiled-automaton LRU) and seeks past the
+// last delivered node.
+
+const cursorVersion = "c1"
+
+// encodeCursor builds the continuation token for a page ending at last.
+func encodeCursor(doc string, gen uint64, last tree.NodeID) string {
+	raw := cursorVersion + "\x00" + doc + "\x00" +
+		strconv.FormatUint(gen, 10) + "\x00" +
+		strconv.FormatInt(int64(last), 10)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor parses a continuation token.
+func decodeCursor(tok string) (doc string, gen uint64, last tree.NodeID, err error) {
+	raw, derr := base64.RawURLEncoding.DecodeString(tok)
+	if derr != nil {
+		return "", 0, 0, fmt.Errorf("bad cursor: %v", derr)
+	}
+	parts := strings.Split(string(raw), "\x00")
+	if len(parts) != 4 || parts[0] != cursorVersion {
+		return "", 0, 0, fmt.Errorf("bad cursor: malformed token")
+	}
+	gen, gerr := strconv.ParseUint(parts[2], 10, 64)
+	if gerr != nil {
+		return "", 0, 0, fmt.Errorf("bad cursor: %v", gerr)
+	}
+	n, nerr := strconv.ParseInt(parts[3], 10, 32)
+	if nerr != nil {
+		return "", 0, 0, fmt.Errorf("bad cursor: %v", nerr)
+	}
+	return parts[1], gen, tree.NodeID(n), nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/store"
 )
@@ -12,7 +13,8 @@ import (
 // HTTP/JSON surface of the service, mounted by cmd/xpqd and exercised
 // directly (via httptest) in tests:
 //
-//	POST   /query   Request                  -> Response
+//	POST   /query          Request           -> Response (limit/cursor paged)
+//	POST   /query/stream   Request           -> NDJSON: header, chunks, trailer
 //	POST   /batch   BatchRequest             -> BatchResponse
 //	GET    /docs                             -> DocsResponse
 //	POST   /docs    LoadRequest              -> store.Stats
@@ -57,7 +59,37 @@ type HandlerOptions struct {
 	// daemon must not hand out arbitrary readable files as queryable
 	// documents.
 	AllowFileLoads bool
+	// StreamChunk is the nodes-per-chunk size of /query/stream
+	// responses; <= 0 means DefaultStreamChunk.
+	StreamChunk int
+	// StreamWriteTimeout bounds each chunk write of /query/stream, so
+	// a reader that stops consuming cannot pin the handler goroutine
+	// (and the pinned evaluation state) forever; <= 0 means
+	// DefaultStreamWriteTimeout. This is deliberately per-write, not
+	// per-stream: arbitrarily long streams to live readers are fine.
+	StreamWriteTimeout time.Duration
 }
+
+// DefaultStreamWriteTimeout is the per-chunk write deadline of
+// /query/stream when HandlerOptions does not choose one.
+const DefaultStreamWriteTimeout = 30 * time.Second
+
+// deadlineWriter arms a fresh write deadline before every write; a
+// stalled reader makes the blocked write fail with a timeout, which
+// truncates the stream (the missing trailer tells the client).
+type deadlineWriter struct {
+	w  http.ResponseWriter
+	rc *http.ResponseController
+	d  time.Duration
+}
+
+func (dw *deadlineWriter) Write(p []byte) (int, error) {
+	_ = dw.rc.SetWriteDeadline(time.Now().Add(dw.d))
+	return dw.w.Write(p)
+}
+
+// Flush implements http.Flusher so Stream keeps flushing per chunk.
+func (dw *deadlineWriter) Flush() { _ = dw.rc.Flush() }
 
 // NewHandler mounts the service's HTTP API on a fresh mux.
 func NewHandler(s *Service, opts HandlerOptions) http.Handler {
@@ -69,6 +101,28 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 		}
 		resp := s.Eval(req)
 		writeJSON(w, statusFor(resp), resp)
+	})
+	mux.HandleFunc("POST /query/stream", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		// The content type goes out with the first flush; from then on
+		// the response is committed and a failure truncates the stream.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		timeout := opts.StreamWriteTimeout
+		if timeout <= 0 {
+			timeout = DefaultStreamWriteTimeout
+		}
+		dw := &deadlineWriter{w: w, rc: http.NewResponseController(w), d: timeout}
+		pre := s.Stream(dw, req, opts.StreamChunk)
+		// Clear the armed deadline so it cannot leak into the next
+		// request on a kept-alive connection.
+		_ = dw.rc.SetWriteDeadline(time.Time{})
+		if pre != nil {
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, statusFor(*pre), pre)
+		}
 	})
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
@@ -142,13 +196,16 @@ func loadDoc(s *Service, req LoadRequest) (*store.Handle, error) {
 }
 
 // statusFor maps an Eval outcome to an HTTP status: unknown documents
-// are 404, everything else (parse errors, fragment violations) is 400.
+// are 404, stale cursors (document reloaded under the token) are 410,
+// everything else (parse errors, fragment violations) is 400.
 func statusFor(resp Response) int {
 	switch {
 	case resp.Err == "":
 		return http.StatusOK
 	case resp.notFound:
 		return http.StatusNotFound
+	case resp.staleCursor:
+		return http.StatusGone
 	default:
 		return http.StatusBadRequest
 	}

@@ -24,6 +24,16 @@ type metrics struct {
 	bucketCounts  []uint64 // len(latencyBuckets)+1, last is overflow
 	latencySumUS  int64
 	latencyMaxUS  int64
+
+	// Streaming counters: one recordStream per finished (or
+	// client-aborted) stream; chunk latencies cover encode+write+flush.
+	streams         uint64
+	streamChunks    uint64
+	streamNodes     uint64
+	firstByteSumUS  int64
+	firstByteMaxUS  int64
+	chunkWriteSumUS int64
+	chunkWriteMaxUS int64
 }
 
 func (m *metrics) record(strat core.Strategy, elapsedUS int64, visited, selected int) {
@@ -45,6 +55,22 @@ func (m *metrics) record(strat core.Strategy, elapsedUS int64, visited, selected
 	m.latencySumUS += elapsedUS
 	if elapsedUS > m.latencyMaxUS {
 		m.latencyMaxUS = elapsedUS
+	}
+}
+
+func (m *metrics) recordStream(chunks, nodes int, firstByteUS, chunkSumUS, chunkMaxUS int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streams++
+	m.streamChunks += uint64(chunks)
+	m.streamNodes += uint64(nodes)
+	m.firstByteSumUS += firstByteUS
+	if firstByteUS > m.firstByteMaxUS {
+		m.firstByteMaxUS = firstByteUS
+	}
+	m.chunkWriteSumUS += chunkSumUS
+	if chunkMaxUS > m.chunkWriteMaxUS {
+		m.chunkWriteMaxUS = chunkMaxUS
 	}
 }
 
@@ -73,6 +99,21 @@ type QueryStats struct {
 	Latency       []LatencyBucket   `json:"latency_histogram,omitempty"`
 	LatencyMeanUS int64             `json:"latency_mean_us"`
 	LatencyMaxUS  int64             `json:"latency_max_us"`
+	Streaming     StreamStats       `json:"streaming"`
+}
+
+// StreamStats is the cumulative streaming picture: how many NDJSON
+// streams ran, how quickly their first byte went out, and how long
+// chunk writes take (the chunk-write latency is the backpressure
+// signal: slow readers show up here, not in server memory).
+type StreamStats struct {
+	Streams         uint64 `json:"streams"`
+	Chunks          uint64 `json:"chunks"`
+	Nodes           uint64 `json:"nodes"`
+	FirstByteMeanUS int64  `json:"first_byte_mean_us"`
+	FirstByteMaxUS  int64  `json:"first_byte_max_us"`
+	ChunkWriteMean  int64  `json:"chunk_write_mean_us"`
+	ChunkWriteMaxUS int64  `json:"chunk_write_max_us"`
 }
 
 func (m *metrics) snapshot() QueryStats {
@@ -87,6 +128,19 @@ func (m *metrics) snapshot() QueryStats {
 	}
 	if n := m.total - m.errors; n > 0 {
 		qs.LatencyMeanUS = m.latencySumUS / int64(n)
+	}
+	qs.Streaming = StreamStats{
+		Streams:         m.streams,
+		Chunks:          m.streamChunks,
+		Nodes:           m.streamNodes,
+		FirstByteMaxUS:  m.firstByteMaxUS,
+		ChunkWriteMaxUS: m.chunkWriteMaxUS,
+	}
+	if m.streams > 0 {
+		qs.Streaming.FirstByteMeanUS = m.firstByteSumUS / int64(m.streams)
+	}
+	if m.streamChunks > 0 {
+		qs.Streaming.ChunkWriteMean = m.chunkWriteSumUS / int64(m.streamChunks)
 	}
 	if m.byStrategy != nil {
 		qs.ByStrategy = make(map[string]uint64, len(m.byStrategy))

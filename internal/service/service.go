@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/qcache"
@@ -29,6 +30,9 @@ type Options struct {
 	// CacheSize bounds the compiled-query LRU (entries, shared across
 	// all documents); <= 0 means qcache.DefaultCapacity.
 	CacheSize int
+	// CacheBytes adds a byte budget to the LRU, weighing each entry by
+	// its automaton's SizeBytes estimate; 0 keeps the entry bound only.
+	CacheBytes int64
 	// Workers sizes the batch worker pool; <= 0 means GOMAXPROCS.
 	Workers int
 }
@@ -55,9 +59,13 @@ type Service struct {
 // engineEntry pins the store handle an engine was built from, so
 // engine() can detect evict/reload churn done directly on the store
 // (bypassing EvictDoc) and rebuild instead of serving the old tree.
+// gen is the generation the engine was created under; cursor tokens
+// embed it so a resume against a reloaded document fails cleanly
+// instead of serving a page of a different tree.
 type engineEntry struct {
 	handle *store.Handle
 	engine *core.Engine
+	gen    uint64
 }
 
 // New builds a service around a (possibly pre-populated) store.
@@ -71,9 +79,14 @@ func New(st *store.Store, opts Options) *Service {
 	}
 	return &Service{
 		store:   st,
-		cache:   qcache.New(opts.CacheSize),
+		cache:   qcache.NewSized(opts.CacheSize, opts.CacheBytes),
 		workers: workers,
 		engines: make(map[string]engineEntry),
+		// Seed the generation with process entropy: cursor tokens embed
+		// it, and a counter restarting at zero would let a token issued
+		// by a previous daemon process pass the staleness check against
+		// a same-named document with different contents.
+		generation: uint64(time.Now().UnixNano()),
 	}
 }
 
@@ -81,26 +94,26 @@ func New(st *store.Store, opts Options) *Service {
 // service; engines attach lazily at first query).
 func (s *Service) Store() *store.Store { return s.store }
 
-// engine returns the per-document engine, creating it on first use and
-// rebuilding it whenever the store's handle for the id has changed
-// (evict + reload through Store() directly). Engines share the service
-// LRU, namespaced by document id and generation.
-func (s *Service) engine(docID string) (*core.Engine, error) {
+// engine returns the per-document engine and its generation, creating
+// it on first use and rebuilding it whenever the store's handle for the
+// id has changed (evict + reload through Store() directly). Engines
+// share the service LRU, namespaced by document id and generation.
+func (s *Service) engine(docID string) (*core.Engine, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h, ok := s.store.Get(docID)
 	if !ok {
 		delete(s.engines, docID)
-		return nil, fmt.Errorf("service: %w: %q", ErrNoDocument, docID)
+		return nil, 0, fmt.Errorf("service: %w: %q", ErrNoDocument, docID)
 	}
 	if ent, ok := s.engines[docID]; ok && ent.handle == h {
-		return ent.engine, nil
+		return ent.engine, ent.gen, nil
 	}
 	s.generation++
 	prefix := docID + "\x00" + strconv.FormatUint(s.generation, 10) + "\x00"
 	e := core.NewWithIndex(h.Doc, h.Index, s.cache, prefix)
-	s.engines[docID] = engineEntry{handle: h, engine: e}
-	return e, nil
+	s.engines[docID] = engineEntry{handle: h, engine: e, gen: s.generation}
+	return e, s.generation, nil
 }
 
 // EvictDoc removes a document from the store, drops its engine, and
@@ -125,9 +138,15 @@ type Request struct {
 	Strategy string `json:"strategy,omitempty"`
 	// Paths asks for the label path of each selected node.
 	Paths bool `json:"paths,omitempty"`
-	// Limit truncates the returned node list (0 = all); Count always
-	// reports the full cardinality.
+	// Limit caps the returned node list (0 = all remaining); Count
+	// always reports the full cardinality. When the limit cuts the
+	// answer short the Response carries a continuation token in Next.
 	Limit int `json:"limit,omitempty"`
+	// Cursor resumes a paged answer: the opaque Next token of the
+	// previous page. The token pins the document generation; resuming
+	// after an evict/reload fails with a stale-cursor error (HTTP 410)
+	// rather than serving a page of a different tree.
+	Cursor string `json:"cursor,omitempty"`
 }
 
 // Response is the outcome of one Request.
@@ -144,51 +163,121 @@ type Response struct {
 	Visited   int    `json:"visited"`
 	ElapsedUS int64  `json:"elapsed_us"`
 	Err       string `json:"error,omitempty"`
-	// notFound distinguishes unknown-document errors for the HTTP
-	// status mapping without parsing Err text.
-	notFound bool
+	// Next is the opaque continuation token for the next page; empty
+	// when the answer is exhausted.
+	Next string `json:"next,omitempty"`
+	// notFound / staleCursor distinguish error classes for the HTTP
+	// status mapping (404 / 410) without parsing Err text.
+	notFound    bool
+	staleCursor bool
 }
 
-// Eval evaluates one request.
-func (s *Service) Eval(req Request) Response {
-	resp := Response{Doc: req.Doc, Query: req.Query}
+// evalState is the outcome of prepare: everything Eval and Stream need
+// to page or stream an answer.
+type evalState struct {
+	resp  Response
+	cur   *core.Cursor
+	eng   *core.Engine
+	gen   uint64
+	timer timer
+}
+
+// prepare runs the shared front half of Eval and Stream: strategy
+// parsing, engine lookup, cursor-token validation (document and
+// generation must match), evaluation, and seeking to the resume
+// position. On failure the returned state's resp.Err is set (and
+// metrics recorded); on success resp carries Strategy/Count/Visited.
+func (s *Service) prepare(req Request) evalState {
+	st := evalState{resp: Response{Doc: req.Doc, Query: req.Query}}
 	strat, ok := core.ParseStrategy(req.Strategy)
 	if !ok {
-		resp.Err = fmt.Sprintf("unknown strategy %q", req.Strategy)
+		st.resp.Err = fmt.Sprintf("unknown strategy %q", req.Strategy)
 		s.metrics.recordError()
-		return resp
+		return st
 	}
-	eng, err := s.engine(req.Doc)
+	eng, gen, err := s.engine(req.Doc)
 	if err != nil {
-		resp.Err = err.Error()
-		resp.notFound = errors.Is(err, ErrNoDocument)
+		st.resp.Err = err.Error()
+		st.resp.notFound = errors.Is(err, ErrNoDocument)
 		s.metrics.recordError()
-		return resp
+		return st
 	}
-	timer := startTimer()
-	ans, err := eng.QueryWith(req.Query, strat)
-	elapsed := timer.elapsedMicros()
-	resp.ElapsedUS = elapsed
+	var after tree.NodeID
+	haveAfter := false
+	if req.Cursor != "" {
+		cdoc, cgen, clast, err := decodeCursor(req.Cursor)
+		if err != nil {
+			st.resp.Err = err.Error()
+			s.metrics.recordError()
+			return st
+		}
+		if cdoc != req.Doc {
+			st.resp.Err = fmt.Sprintf("cursor is for document %q, not %q", cdoc, req.Doc)
+			s.metrics.recordError()
+			return st
+		}
+		if cgen != gen {
+			st.resp.Err = fmt.Sprintf("stale cursor: document %q was reloaded since the cursor was issued", req.Doc)
+			st.resp.staleCursor = true
+			s.metrics.recordError()
+			return st
+		}
+		after, haveAfter = clast, true
+	}
+	st.timer = startTimer()
+	cur, err := eng.EvalCursor(req.Query, strat)
 	if err != nil {
-		resp.Err = err.Error()
+		st.resp.ElapsedUS = st.timer.elapsedMicros()
+		st.resp.Err = err.Error()
 		s.metrics.recordError()
-		return resp
+		return st
 	}
-	resp.Strategy = ans.Strategy.String()
-	resp.Count = len(ans.Nodes)
-	resp.Visited = ans.Visited
-	nodes := ans.Nodes
-	if req.Limit > 0 && len(nodes) > req.Limit {
-		nodes = nodes[:req.Limit]
+	if haveAfter {
+		cur.SeekPast(after)
+	}
+	st.resp.Strategy = cur.Strategy().String()
+	st.resp.Count = cur.Count()
+	st.resp.Visited = cur.Visited()
+	st.cur, st.eng, st.gen = cur, eng, gen
+	return st
+}
+
+// Eval evaluates one request, returning at most Limit nodes (all
+// remaining when Limit <= 0) from the resume position, plus a Next
+// token when the answer has more pages.
+func (s *Service) Eval(req Request) Response {
+	st := s.prepare(req)
+	if st.cur == nil {
+		return st.resp
+	}
+	resp := st.resp
+	limit := req.Limit
+	if limit <= 0 {
+		limit = resp.Count
+	}
+	nodes := make([]tree.NodeID, 0, min(limit, resp.Count))
+	for len(nodes) < limit {
+		v, ok := st.cur.Next()
+		if !ok {
+			break
+		}
+		nodes = append(nodes, v)
+	}
+	// A non-empty remainder means this page was cut short: hand out a
+	// resumption token pinned to the engine generation.
+	if _, more := st.cur.Next(); more && len(nodes) > 0 {
+		resp.Next = encodeCursor(req.Doc, st.gen, nodes[len(nodes)-1])
 	}
 	resp.Nodes = nodes
 	if req.Paths {
 		resp.Paths = make([]string, len(nodes))
 		for i, v := range nodes {
-			resp.Paths[i] = eng.Doc().Path(v)
+			resp.Paths[i] = st.eng.Doc().Path(v)
 		}
 	}
-	s.metrics.record(ans.Strategy, elapsed, ans.Visited, len(ans.Nodes))
+	elapsed := st.timer.elapsedMicros()
+	resp.ElapsedUS = elapsed
+	s.metrics.record(st.cur.Strategy(), elapsed, resp.Visited, resp.Count)
 	return resp
 }
 

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/tree"
+)
+
+// The streaming result path: instead of one Response holding the whole
+// node set, the answer is written as NDJSON — a header line, then
+// fixed-size chunk lines, then a trailer — with a flush after every
+// line so the first chunk reaches the client while the rest of the
+// answer is still being walked. Writes go straight to the connection,
+// so a slow reader throttles the producer (backpressure) instead of
+// growing a buffer; peak memory is one chunk, not one answer.
+
+// DefaultStreamChunk is the nodes-per-chunk default for streams whose
+// creator did not choose a size.
+const DefaultStreamChunk = 512
+
+// StreamHeader is the first NDJSON line of a stream.
+type StreamHeader struct {
+	Doc      string `json:"doc"`
+	Query    string `json:"query"`
+	Strategy string `json:"strategy"`
+	// Count is the full answer cardinality (counted before streaming;
+	// the count walk allocates nothing).
+	Count   int `json:"count"`
+	Visited int `json:"visited"`
+}
+
+// StreamChunk is one payload line: a bounded batch of answer nodes in
+// preorder.
+type StreamChunk struct {
+	Nodes []tree.NodeID `json:"nodes"`
+	Paths []string      `json:"paths,omitempty"`
+}
+
+// StreamTrailer is the last NDJSON line. A stream that ends without a
+// trailer was truncated (the connection failed mid-stream); clients
+// must treat the trailer, not EOF, as the completion signal. Cursor
+// resumes a stream that a Limit cut short. Err is reserved for future
+// in-band failures — today evaluation completes before the header is
+// written, so nothing can fail in-band.
+type StreamTrailer struct {
+	Done      bool   `json:"done"`
+	Chunks    int    `json:"chunks"`
+	Nodes     int    `json:"nodes"`
+	Cursor    string `json:"cursor,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Err       string `json:"error,omitempty"`
+}
+
+// Stream evaluates req and writes the answer to w as NDJSON
+// (header, chunks of chunkSize nodes, trailer), flushing after every
+// line when w implements http.Flusher. Limit and Cursor page exactly
+// like Eval. When the request cannot start (bad strategy, unknown
+// document, stale cursor, parse error) nothing is written and the
+// failed Response is returned for the caller to deliver; once the
+// header line is out the return is nil, and a write failure (client
+// gone) truncates the stream — the missing trailer is the signal.
+func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
+	if chunkSize <= 0 {
+		chunkSize = DefaultStreamChunk
+	}
+	st := s.prepare(req)
+	if st.cur == nil {
+		return &st.resp
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	writeLine := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	header := StreamHeader{
+		Doc:      req.Doc,
+		Query:    req.Query,
+		Strategy: st.resp.Strategy,
+		Count:    st.resp.Count,
+		Visited:  st.resp.Visited,
+	}
+	if !writeLine(header) {
+		// Client gone before the header. The evaluation still ran, so
+		// the query counters must see it; no stream was delivered, so
+		// the streaming counters (whose means are per-stream) are not
+		// polluted with an empty one.
+		s.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
+		return nil
+	}
+	// First byte is measured after the header's encode+write+flush: it
+	// is the time until the client actually has data, not until the
+	// server was ready to produce it.
+	firstByteUS := st.timer.elapsedMicros()
+
+	limit := req.Limit
+	if limit <= 0 {
+		limit = st.resp.Count
+	}
+	var (
+		buf          = make([]tree.NodeID, chunkSize)
+		sent, chunks int
+		chunkSumUS   int64
+		chunkMaxUS   int64
+		last         tree.NodeID
+	)
+	for sent < limit {
+		want := len(buf)
+		if rem := limit - sent; rem < want {
+			want = rem
+		}
+		n := st.cur.NextBatch(buf[:want])
+		if n == 0 {
+			break
+		}
+		chunk := StreamChunk{Nodes: buf[:n]}
+		if req.Paths {
+			chunk.Paths = make([]string, n)
+			for i, v := range buf[:n] {
+				chunk.Paths[i] = st.eng.Doc().Path(v)
+			}
+		}
+		t := startTimer()
+		ok := writeLine(chunk)
+		us := t.elapsedMicros()
+		chunkSumUS += us
+		if us > chunkMaxUS {
+			chunkMaxUS = us
+		}
+		if !ok {
+			// Client went away mid-stream. The evaluation itself ran to
+			// completion, so it counts as a query; then account for the
+			// chunks that did go out.
+			s.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
+			s.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+			return nil
+		}
+		sent += n
+		chunks++
+		last = buf[n-1]
+	}
+	trailer := StreamTrailer{
+		Done:      true,
+		Chunks:    chunks,
+		Nodes:     sent,
+		ElapsedUS: st.timer.elapsedMicros(),
+	}
+	if _, more := st.cur.Next(); more && sent > 0 {
+		trailer.Cursor = encodeCursor(req.Doc, st.gen, last)
+	}
+	writeLine(trailer)
+	s.metrics.record(st.cur.Strategy(), trailer.ElapsedUS, st.resp.Visited, st.resp.Count)
+	s.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+	return nil
+}

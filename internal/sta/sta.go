@@ -84,6 +84,28 @@ func (a *STA) Finalize() *STA {
 	return a
 }
 
+// SizeBytes estimates the resident size of the (minimized) automaton:
+// transitions with their guard sets plus the lookup structures built by
+// Finalize. The byte-weighted compiled-query LRU weighs cache entries
+// with it, so the estimate only needs to be proportionally honest.
+func (a *STA) SizeBytes() int64 {
+	const transFixed = 48 // Transition struct less the guard's backing
+	b := int64(128)       // STA header and slice headers
+	b += 4 * int64(len(a.Top)+len(a.Bottom))
+	for i := range a.Trans {
+		b += transFixed + a.Trans[i].Guard.SizeBytes()
+	}
+	for _, row := range a.byFrom {
+		b += 24 + 4*int64(len(row))
+	}
+	b += int64(len(a.inTop) + len(a.inBot))
+	for _, s := range a.selOf {
+		b += s.SizeBytes()
+	}
+	b += 4 * int64(len(a.alpha))
+	return b
+}
+
 func (a *STA) mentionedLabels() []tree.LabelID {
 	seen := make(map[tree.LabelID]bool)
 	for _, t := range a.Trans {

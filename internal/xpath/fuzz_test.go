@@ -1,0 +1,58 @@
+package xpath
+
+import (
+	"testing"
+)
+
+// fuzzSeeds are the fifteen paper queries plus syntax-corner seeds
+// (explicit axes, attributes, text predicates, pathological nesting) so
+// the fuzzer starts from every grammar production.
+var fuzzSeeds = []string{
+	"/site/regions",
+	"/site/regions/europe/item/mailbox/mail/text/keyword",
+	"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem",
+	"/site/regions/*/item",
+	"//listitem//keyword",
+	"/site/regions/*/item//keyword",
+	"/site/people/person[ address and (phone or homepage) ]",
+	"//listitem[ .//keyword and .//emph]//parlist",
+	"/site/regions/*/item[ mailbox/mail/date ]/mailbox/mail",
+	"/site[ .//keyword]",
+	"/site//keyword",
+	"/site[ .//keyword ]//keyword",
+	"/site[ .//keyword or .//keyword/emph ]//keyword",
+	"/site[ .//keyword//emph ]/descendant::keyword",
+	"/site[ .//*//* ]//keyword",
+	"/a/descendant::b/following-sibling::c",
+	"//item[@id]/@name",
+	"//a[not(b) and not(c or d)]",
+	"//a[contains(.//b, \"x\")]",
+	"//a[contains(b, 'it''s')]",
+	"child::a/child::node()/descendant::text()",
+	"/a[.//b[.//c[.//d]]]",
+	"//", "/", ".", "[", "]", "@", "a[", "not(", "::", "a//",
+}
+
+// FuzzParse checks the two invariants the lexer+parser must hold for
+// arbitrary input: never panic, and round-trip — a successfully parsed
+// query's String() form must re-parse to the same String() (String is
+// the canonical form, so one round fixes the point).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		p, err := Parse(query)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse:\n input: %q\n canon: %q\n error: %v", query, canon, err)
+		}
+		if again := p2.String(); again != canon {
+			t.Fatalf("String not a fixed point:\n input: %q\n canon: %q\n again: %q", query, canon, again)
+		}
+	})
+}

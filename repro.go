@@ -46,6 +46,11 @@ type Engine = core.Engine
 // and effort counters.
 type Answer = core.Answer
 
+// Cursor is a resumable, preorder-sorted view of one answer, returned
+// by Engine.EvalCursor; large answers can be consumed in bounded
+// memory with Next/NextBatch instead of materializing Answer.Nodes.
+type Cursor = core.Cursor
+
 // Strategy selects how a query is executed; see the constants.
 type Strategy = core.Strategy
 
