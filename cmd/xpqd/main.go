@@ -2,9 +2,16 @@
 // the multi-document query service (document store + compiled-query LRU
 // + batch evaluation + metrics).
 //
-//	xpqd [-addr localhost:8714] [-cache-size 256] [-cache-bytes N] [-workers N]
-//	     [-stream-chunk 512] [-allow-file-loads]
+//	xpqd [-addr localhost:8714] [-shards N] [-cache-size 256] [-cache-bytes N]
+//	     [-cache-bytes-total N] [-workers N] [-stream-chunk 512] [-allow-file-loads]
 //	     [-load id=file.xml ...] [-load-bin id=file.xqo ...] [-xmark id=scale[:seed] ...]
+//
+// The document corpus is partitioned over -shards goroutine-affine
+// shards by consistent hashing on the document id; each shard owns its
+// own compiled-query LRU (-cache-size / -cache-bytes are per shard),
+// and -cache-bytes-total adds one global byte budget across all of
+// them. GET /docs reports each document's owning shard; GET /stats
+// reports per-shard cache, lock-wait and latency metrics.
 //
 // Endpoints:
 //
@@ -34,12 +41,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -56,8 +65,10 @@ func (m *multiFlag) Set(v string) error {
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:8714", "listen address")
-		cacheSize   = flag.Int("cache-size", 256, "compiled-query LRU capacity (entries)")
-		cacheBytes  = flag.Int64("cache-bytes", 0, "compiled-query LRU byte budget (0 = entries bound only)")
+		shards      = flag.Int("shards", runtime.GOMAXPROCS(0), "document-store shard count (consistent-hash partitions)")
+		cacheSize   = flag.Int("cache-size", 256, "per-shard compiled-query LRU capacity (entries)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "per-shard compiled-query LRU byte budget (0 = entries bound only)")
+		cacheTotal  = flag.Int64("cache-bytes-total", 0, "global byte budget across all per-shard LRUs (0 = per-shard bounds only)")
 		workers     = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		streamChunk = flag.Int("stream-chunk", service.DefaultStreamChunk, "nodes per /query/stream NDJSON chunk")
 		allowFiles  = flag.Bool("allow-file-loads", false, "let POST /docs read server-side file paths")
@@ -70,14 +81,15 @@ func main() {
 	flag.Var(&xmarks, "xmark", "pregenerate an XMark document, id=scale[:seed] (repeatable)")
 	flag.Parse()
 
-	st := store.New()
+	st := shard.NewStore(*shards)
 	if err := preload(st, loads, loadBins, xmarks); err != nil {
 		log.Fatalf("xpqd: %v", err)
 	}
 	svc := service.New(st, service.Options{
-		CacheSize:  *cacheSize,
-		CacheBytes: *cacheBytes,
-		Workers:    *workers,
+		CacheSize:       *cacheSize,
+		CacheBytes:      *cacheBytes,
+		CacheBytesTotal: *cacheTotal,
+		Workers:         *workers,
 	})
 
 	srv := &http.Server{
@@ -91,7 +103,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("xpqd: listening on %s (%d documents resident)", *addr, st.Len())
+		log.Printf("xpqd: listening on %s (%d shards, %d documents resident)", *addr, st.NumShards(), st.Len())
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -113,7 +125,7 @@ func main() {
 
 // preload loads every -load/-load-bin/-xmark document before serving,
 // so first queries never pay parse or index latency.
-func preload(st *store.Store, loads, loadBins, xmarks []string) error {
+func preload(st *shard.Store, loads, loadBins, xmarks []string) error {
 	for _, spec := range loads {
 		id, path, err := splitSpec(spec, "-load")
 		if err != nil {

@@ -17,14 +17,79 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// Budget is a byte budget shared by several caches — the global
+// admission bound over the sharded service's per-shard compiled-query
+// LRUs. Each participating cache reports its resident-byte deltas to
+// the budget; when the global total exceeds the maximum, the cache
+// performing an insertion evicts from its own LRU tail until the total
+// fits again (never the entry just inserted; an entry larger than the
+// whole budget is not cached at all, since no amount of eviction could
+// ever fit it). Enforcement is local to
+// the inserting shard by design: no cross-shard lock is ever taken, so
+// a hot shard pays its own admission pressure while idle shards keep
+// their working sets warm. The atomic total makes over-budget checks
+// racy by a single in-flight entry at worst, which is acceptable slack
+// for a cache bound.
+type Budget struct {
+	max  int64
+	used atomic.Int64
+}
+
+// NewBudget returns a budget of maxBytes shared bytes, or nil (meaning
+// "no global bound", which every method tolerates) when maxBytes <= 0.
+func NewBudget(maxBytes int64) *Budget {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Budget{max: maxBytes}
+}
+
+func (b *Budget) add(n int64) {
+	if b != nil {
+		b.used.Add(n)
+	}
+}
+
+// Over reports whether the summed resident bytes exceed the budget.
+func (b *Budget) Over() bool { return b != nil && b.used.Load() > b.max }
+
+// Used returns the summed resident bytes across participating caches.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Max returns the budget bound (0 for a nil budget).
+func (b *Budget) Max() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.max
+}
+
+// BudgetStats is a point-in-time snapshot of a shared budget.
+type BudgetStats struct {
+	UsedBytes int64 `json:"used_bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// Stats snapshots the budget.
+func (b *Budget) Stats() BudgetStats {
+	return BudgetStats{UsedBytes: b.Used(), MaxBytes: b.Max()}
+}
 
 // Cache is a concurrency-safe LRU keyed by string. The zero value is not
 // usable; call New or NewSized.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	maxBytes int64 // 0 = no byte bound
+	maxBytes int64   // 0 = no byte bound
+	budget   *Budget // nil = no shared global bound
 	curBytes int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
@@ -84,6 +149,15 @@ func New(capacity int) *Cache {
 // hold, but never evicts the entry just inserted (an oversize automaton
 // is admitted alone rather than thrashing).
 func NewSized(capacity int, maxBytes int64) *Cache {
+	return NewShared(capacity, maxBytes, nil)
+}
+
+// NewShared returns a cache bounded like NewSized that additionally
+// participates in a shared byte Budget (nil budget = NewSized): its
+// resident bytes count toward the global total, and an insertion that
+// finds the global total over budget evicts from this cache's own LRU
+// tail until the total fits (or only the new entry remains).
+func NewShared(capacity int, maxBytes int64, budget *Budget) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
@@ -93,6 +167,7 @@ func NewSized(capacity int, maxBytes int64) *Cache {
 	return &Cache{
 		capacity: capacity,
 		maxBytes: maxBytes,
+		budget:   budget,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		inflight: make(map[string]*call),
@@ -174,22 +249,41 @@ func (c *Cache) Put(key string, val any) {
 // (entry count, byte budget) is exceeded.
 func (c *Cache) add(key string, val any) {
 	size := entrySize(val)
+	// An entry larger than the entire shared budget must not be cached:
+	// admitting it would leave the budget permanently over, and every
+	// other participating cache would evict its whole working set on
+	// each insertion trying to fit a total that can never fit. The
+	// caller still gets the compiled value — it just isn't resident.
+	if c.budget != nil && size > c.budget.max {
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*entry)
+			c.curBytes -= e.size
+			c.budget.add(-e.size)
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)
 		c.curBytes += size - e.size
+		c.budget.add(size - e.size)
 		e.val, e.size = val, size
 		c.ll.MoveToFront(el)
 	} else {
 		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, size: size})
 		c.curBytes += size
+		c.budget.add(size)
 	}
 	for c.ll.Len() > c.capacity ||
-		(c.maxBytes > 0 && c.curBytes > c.maxBytes && c.ll.Len() > 1) {
+		(c.ll.Len() > 1 &&
+			((c.maxBytes > 0 && c.curBytes > c.maxBytes) || c.budget.Over())) {
 		tail := c.ll.Back()
 		e := tail.Value.(*entry)
 		c.ll.Remove(tail)
 		delete(c.items, e.key)
 		c.curBytes -= e.size
+		c.budget.add(-e.size)
 		c.evictions++
 	}
 }
@@ -200,7 +294,9 @@ func (c *Cache) Remove(key string) bool {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if ok {
-		c.curBytes -= el.Value.(*entry).size
+		size := el.Value.(*entry).size
+		c.curBytes -= size
+		c.budget.add(-size)
 		c.ll.Remove(el)
 		delete(c.items, key)
 	}
@@ -218,6 +314,7 @@ func (c *Cache) RemovePrefix(prefix string) int {
 		next := el.Next()
 		if e := el.Value.(*entry); strings.HasPrefix(e.key, prefix) {
 			c.curBytes -= e.size
+			c.budget.add(-e.size)
 			c.ll.Remove(el)
 			delete(c.items, e.key)
 			n++

@@ -10,41 +10,50 @@ import (
 )
 
 // Continuation tokens are opaque to clients but deliberately cheap for
-// the server: base64url("c1\0doc\0generation\0lastNode"). The document
-// id and generation pin the token to one loaded instance of one
+// the server: base64url("c2\0shard\0doc\0generation\0lastNode"). The
+// shard index pins the token to the partition that served the page, so
+// a resume after the corpus was resharded (daemon restarted with a
+// different -shards) and the id relocated fails the shard check; the
+// document id and generation pin it to one loaded instance of one
 // document — a resume after evict/reload decodes fine but fails the
-// generation check, which is what keeps paged answers from silently
-// mixing two trees. No server-side state is kept per cursor: resuming
-// re-evaluates (hitting the compiled-automaton LRU) and seeks past the
-// last delivered node.
+// generation check. Both failures map to HTTP 410, which is what keeps
+// paged answers from silently mixing two trees (or two partitions). No
+// server-side state is kept per cursor: resuming re-evaluates (hitting
+// the shard's compiled-automaton LRU) and seeks past the last delivered
+// node.
 
-const cursorVersion = "c1"
+const cursorVersion = "c2"
 
-// encodeCursor builds the continuation token for a page ending at last.
-func encodeCursor(doc string, gen uint64, last tree.NodeID) string {
-	raw := cursorVersion + "\x00" + doc + "\x00" +
+// encodeCursor builds the continuation token for a page of doc (owned
+// by shard) ending at last.
+func encodeCursor(shard int, doc string, gen uint64, last tree.NodeID) string {
+	raw := cursorVersion + "\x00" + strconv.Itoa(shard) + "\x00" + doc + "\x00" +
 		strconv.FormatUint(gen, 10) + "\x00" +
 		strconv.FormatInt(int64(last), 10)
 	return base64.RawURLEncoding.EncodeToString([]byte(raw))
 }
 
 // decodeCursor parses a continuation token.
-func decodeCursor(tok string) (doc string, gen uint64, last tree.NodeID, err error) {
+func decodeCursor(tok string) (shard int, doc string, gen uint64, last tree.NodeID, err error) {
 	raw, derr := base64.RawURLEncoding.DecodeString(tok)
 	if derr != nil {
-		return "", 0, 0, fmt.Errorf("bad cursor: %v", derr)
+		return 0, "", 0, 0, fmt.Errorf("bad cursor: %v", derr)
 	}
 	parts := strings.Split(string(raw), "\x00")
-	if len(parts) != 4 || parts[0] != cursorVersion {
-		return "", 0, 0, fmt.Errorf("bad cursor: malformed token")
+	if len(parts) != 5 || parts[0] != cursorVersion {
+		return 0, "", 0, 0, fmt.Errorf("bad cursor: malformed token")
 	}
-	gen, gerr := strconv.ParseUint(parts[2], 10, 64)
+	shard, serr := strconv.Atoi(parts[1])
+	if serr != nil || shard < 0 {
+		return 0, "", 0, 0, fmt.Errorf("bad cursor: malformed shard")
+	}
+	gen, gerr := strconv.ParseUint(parts[3], 10, 64)
 	if gerr != nil {
-		return "", 0, 0, fmt.Errorf("bad cursor: %v", gerr)
+		return 0, "", 0, 0, fmt.Errorf("bad cursor: %v", gerr)
 	}
-	n, nerr := strconv.ParseInt(parts[3], 10, 32)
+	n, nerr := strconv.ParseInt(parts[4], 10, 32)
 	if nerr != nil {
-		return "", 0, 0, fmt.Errorf("bad cursor: %v", nerr)
+		return 0, "", 0, 0, fmt.Errorf("bad cursor: %v", nerr)
 	}
-	return parts[1], gen, tree.NodeID(n), nil
+	return shard, parts[2], gen, tree.NodeID(n), nil
 }

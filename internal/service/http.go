@@ -16,7 +16,7 @@ import (
 //	POST   /query          Request           -> Response (limit/cursor paged)
 //	POST   /query/stream   Request           -> NDJSON: header, chunks, trailer
 //	POST   /batch   BatchRequest             -> BatchResponse
-//	GET    /docs                             -> DocsResponse
+//	GET    /docs                             -> documents (with owning shard) + shard count
 //	POST   /docs    LoadRequest              -> store.Stats
 //	DELETE /docs/{id}                        -> 204
 //	GET    /stats                            -> Stats
@@ -133,7 +133,10 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 		writeJSON(w, http.StatusOK, BatchResponse{Responses: s.EvalBatch(req.Requests)})
 	})
 	mux.HandleFunc("GET /docs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"documents": s.Store().List()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"documents": s.Store().ListSharded(),
+			"shards":    s.Store().NumShards(),
+		})
 	})
 	mux.HandleFunc("POST /docs", func(w http.ResponseWriter, r *http.Request) {
 		var req LoadRequest

@@ -10,13 +10,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/xmark"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(NewHandler(New(store.New(), Options{}), HandlerOptions{}))
+	srv := httptest.NewServer(NewHandler(New(shard.NewStore(1), Options{}), HandlerOptions{}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -178,7 +179,7 @@ func TestFileLoadsGated(t *testing.T) {
 
 	// Opt-in handler: loads work.
 	doc := writeSmallBinary(t)
-	open := httptest.NewServer(NewHandler(New(store.New(), Options{}),
+	open := httptest.NewServer(NewHandler(New(shard.NewStore(1), Options{}),
 		HandlerOptions{AllowFileLoads: true}))
 	defer open.Close()
 	var stats store.Stats

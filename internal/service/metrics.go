@@ -81,6 +81,46 @@ func (m *metrics) recordError() {
 	m.mu.Unlock()
 }
 
+// addTo accumulates m's raw counters into dst — the per-shard metrics
+// are merged this way (sums of sums, maxes of maxes) so the aggregate
+// snapshot computes means from true totals rather than averaging
+// per-shard means. dst is private to the caller and needs no lock.
+func (m *metrics) addTo(dst *metrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dst.total += m.total
+	dst.errors += m.errors
+	dst.visitedNodes += m.visitedNodes
+	dst.selectedNodes += m.selectedNodes
+	if m.byStrategy != nil {
+		if dst.byStrategy == nil {
+			dst.byStrategy = make(map[string]uint64)
+			dst.bucketCounts = make([]uint64, len(latencyBuckets)+1)
+		}
+		for k, v := range m.byStrategy {
+			dst.byStrategy[k] += v
+		}
+		for i, c := range m.bucketCounts {
+			dst.bucketCounts[i] += c
+		}
+	}
+	dst.latencySumUS += m.latencySumUS
+	if m.latencyMaxUS > dst.latencyMaxUS {
+		dst.latencyMaxUS = m.latencyMaxUS
+	}
+	dst.streams += m.streams
+	dst.streamChunks += m.streamChunks
+	dst.streamNodes += m.streamNodes
+	dst.firstByteSumUS += m.firstByteSumUS
+	if m.firstByteMaxUS > dst.firstByteMaxUS {
+		dst.firstByteMaxUS = m.firstByteMaxUS
+	}
+	dst.chunkWriteSumUS += m.chunkWriteSumUS
+	if m.chunkWriteMaxUS > dst.chunkWriteMaxUS {
+		dst.chunkWriteMaxUS = m.chunkWriteMaxUS
+	}
+}
+
 // LatencyBucket is one histogram bin: count of queries with latency
 // <= LEMicros (the last bucket has LEMicros == 0, meaning +Inf).
 type LatencyBucket struct {

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/store"
+	"repro/internal/shard"
 )
 
 // TestConcurrentMixedWorkload hammers one Service from many goroutines
@@ -23,7 +23,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 
 	// Single-threaded ground truth on a reference service with the same
 	// stable documents.
-	ref := New(store.New(), Options{Workers: 1})
+	ref := New(shard.NewStore(1), Options{Workers: 1})
 	stable := []string{"s0", "s1", "s2"}
 	for i, id := range stable {
 		if _, err := ref.Store().LoadXML(id, docXML(i)); err != nil {
@@ -45,7 +45,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 		}
 	}
 
-	s := New(store.New(), Options{Workers: 4, CacheSize: 8})
+	s := New(shard.NewStore(1), Options{Workers: 4, CacheSize: 8})
 	for i, id := range stable {
 		if _, err := s.Store().LoadXML(id, docXML(i)); err != nil {
 			t.Fatal(err)

@@ -1,22 +1,30 @@
 // Package service is the long-lived query-serving layer over the
-// engine: a document store, one shared size-bounded LRU of compiled and
-// minimized automata (keyed by document, artifact kind and query, with
-// single-flight compilation), a worker-pool batch API, and per-query
-// metrics. It is the amortization layer the paper's whole-query
-// optimization assumes — compile once, evaluate many times — extended
-// across many resident documents and concurrent clients.
+// engine, sharded end to end: the document corpus is partitioned over N
+// goroutine-affine shards by consistent hashing on the document id
+// (shard.Router), and each shard owns its slice of everything the hot
+// path touches — a store partition, a byte-weighted compiled-query LRU
+// (optionally governed by one global byte budget), an engine table, a
+// generation counter, and its own metrics. A query therefore contends
+// only with queries for documents on the same shard; there is no
+// cross-shard lock anywhere on the request path. It is the amortization
+// layer the paper's whole-query optimization assumes — compile once,
+// evaluate many times — extended across many resident documents,
+// concurrent clients, and now many contention-free partitions.
 package service
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/qcache"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/tree"
 )
@@ -27,31 +35,57 @@ var ErrNoDocument = errors.New("no such document")
 
 // Options configures a Service.
 type Options struct {
-	// CacheSize bounds the compiled-query LRU (entries, shared across
-	// all documents); <= 0 means qcache.DefaultCapacity.
+	// Shards is the partition count used when New is given a nil store;
+	// <= 0 means 1. When a store is supplied its shard count wins.
+	Shards int
+	// CacheSize bounds each per-shard compiled-query LRU (entries);
+	// <= 0 means qcache.DefaultCapacity per shard.
 	CacheSize int
-	// CacheBytes adds a byte budget to the LRU, weighing each entry by
-	// its automaton's SizeBytes estimate; 0 keeps the entry bound only.
+	// CacheBytes adds a per-shard byte budget to each LRU, weighing each
+	// entry by its automaton's SizeBytes estimate; 0 keeps the entry
+	// bound only.
 	CacheBytes int64
+	// CacheBytesTotal adds one global byte budget across every shard's
+	// LRU: a shard admitting an entry while the summed resident bytes
+	// exceed the budget evicts from its own tail until the total fits.
+	// 0 keeps the per-shard bounds only.
+	CacheBytesTotal int64
 	// Workers sizes the batch worker pool; <= 0 means GOMAXPROCS.
 	Workers int
 }
 
-// Service serves queries over the documents resident in its store. All
-// methods are safe for concurrent use.
+// Service serves queries over the documents resident in its sharded
+// store. All methods are safe for concurrent use.
 type Service struct {
-	store   *store.Store
-	cache   *qcache.Cache
+	store   *shard.Store
+	shards  []*svcShard
+	budget  *qcache.Budget
 	workers int
+}
+
+// svcShard is one serving partition: the store partition it fronts,
+// its compiled-query LRU, its engine table, and its metrics. Requests
+// for documents on different shards never touch the same svcShard.
+type svcShard struct {
+	index int
+	part  *store.Store
+	cache *qcache.Cache
 
 	mu      sync.Mutex
 	engines map[string]engineEntry
-	// generation increments per engine created. Cache keys embed the
-	// generation (docID\x00gen\x00...), so a compilation that was
-	// in flight when EvictDoc purged the prefix can only re-insert
-	// under the dead generation — a reloaded document under the same
-	// id gets a fresh generation and can never hit the stale entry.
+	// generation increments per engine created on this shard. Cache keys
+	// embed the generation (docID\x00gen\x00...), so a compilation that
+	// was in flight when EvictDoc purged the prefix can only re-insert
+	// under the dead generation — a reloaded document under the same id
+	// gets a fresh generation and can never hit the stale entry.
 	generation uint64
+
+	// Lock-wait accounting for mu: how long engine lookups queued behind
+	// other requests for this shard — the contention signal sharding
+	// exists to shrink, surfaced per shard in /stats.
+	lockWaitNS    atomic.Int64
+	lockWaitMaxNS atomic.Int64
+	lockAcquires  atomic.Uint64
 
 	metrics metrics
 }
@@ -68,63 +102,100 @@ type engineEntry struct {
 	gen    uint64
 }
 
-// New builds a service around a (possibly pre-populated) store.
-func New(st *store.Store, opts Options) *Service {
-	if st == nil {
-		st = store.New()
+// New builds a service around a (possibly pre-populated) sharded store;
+// nil means a fresh store with opts.Shards partitions.
+func New(ss *shard.Store, opts Options) *Service {
+	if ss == nil {
+		ss = shard.NewStore(opts.Shards)
 	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Service{
-		store:   st,
-		cache:   qcache.NewSized(opts.CacheSize, opts.CacheBytes),
+	s := &Service{
+		store:   ss,
+		budget:  qcache.NewBudget(opts.CacheBytesTotal),
 		workers: workers,
-		engines: make(map[string]engineEntry),
-		// Seed the generation with process entropy: cursor tokens embed
-		// it, and a counter restarting at zero would let a token issued
-		// by a previous daemon process pass the staleness check against
-		// a same-named document with different contents.
-		generation: uint64(time.Now().UnixNano()),
+	}
+	// Seed the generations with process entropy: cursor tokens embed
+	// them, and counters restarting at zero would let a token issued by
+	// a previous daemon process pass the staleness check against a
+	// same-named document with different contents.
+	seed := uint64(time.Now().UnixNano())
+	for i := 0; i < ss.NumShards(); i++ {
+		s.shards = append(s.shards, &svcShard{
+			index:      i,
+			part:       ss.Part(i),
+			cache:      qcache.NewShared(opts.CacheSize, opts.CacheBytes, s.budget),
+			engines:    make(map[string]engineEntry),
+			generation: seed,
+		})
+	}
+	return s
+}
+
+// Store exposes the underlying sharded document store (loads may bypass
+// the service; engines attach lazily at first query).
+func (s *Service) Store() *shard.Store { return s.store }
+
+// NumShards reports the serving partition count.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// shardFor returns the serving shard owning docID — the single routing
+// decision every request makes, shared with the store's router so
+// engines, caches and documents always agree on placement.
+func (s *Service) shardFor(docID string) *svcShard {
+	return s.shards[s.store.ShardFor(docID)]
+}
+
+// lock acquires the shard mutex, accounting the wait.
+func (sh *svcShard) lock() {
+	start := time.Now()
+	sh.mu.Lock()
+	w := time.Since(start).Nanoseconds()
+	sh.lockAcquires.Add(1)
+	sh.lockWaitNS.Add(w)
+	for {
+		cur := sh.lockWaitMaxNS.Load()
+		if w <= cur || sh.lockWaitMaxNS.CompareAndSwap(cur, w) {
+			return
+		}
 	}
 }
 
-// Store exposes the underlying document store (loads may bypass the
-// service; engines attach lazily at first query).
-func (s *Service) Store() *store.Store { return s.store }
-
-// engine returns the per-document engine and its generation, creating
-// it on first use and rebuilding it whenever the store's handle for the
-// id has changed (evict + reload through Store() directly). Engines
-// share the service LRU, namespaced by document id and generation.
-func (s *Service) engine(docID string) (*core.Engine, uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h, ok := s.store.Get(docID)
+// engine returns the shard's engine for docID and its generation,
+// creating it on first use and rebuilding it whenever the partition's
+// handle for the id has changed (evict + reload through Store()
+// directly). Engines share the shard's LRU, namespaced by document id
+// and generation.
+func (sh *svcShard) engine(docID string) (*core.Engine, uint64, error) {
+	sh.lock()
+	defer sh.mu.Unlock()
+	h, ok := sh.part.Get(docID)
 	if !ok {
-		delete(s.engines, docID)
+		delete(sh.engines, docID)
 		return nil, 0, fmt.Errorf("service: %w: %q", ErrNoDocument, docID)
 	}
-	if ent, ok := s.engines[docID]; ok && ent.handle == h {
+	if ent, ok := sh.engines[docID]; ok && ent.handle == h {
 		return ent.engine, ent.gen, nil
 	}
-	s.generation++
-	prefix := docID + "\x00" + strconv.FormatUint(s.generation, 10) + "\x00"
-	e := core.NewWithIndex(h.Doc, h.Index, s.cache, prefix)
-	s.engines[docID] = engineEntry{handle: h, engine: e, gen: s.generation}
-	return e, s.generation, nil
+	sh.generation++
+	prefix := docID + "\x00" + strconv.FormatUint(sh.generation, 10) + "\x00"
+	e := core.NewWithIndex(h.Doc, h.Index, sh.cache, prefix)
+	sh.engines[docID] = engineEntry{handle: h, engine: e, gen: sh.generation}
+	return e, sh.generation, nil
 }
 
-// EvictDoc removes a document from the store, drops its engine, and
-// purges its compiled automata from the LRU. It reports whether the
-// document was resident.
+// EvictDoc removes a document from its shard, drops the shard's engine,
+// and purges its compiled automata from the shard's LRU. It reports
+// whether the document was resident.
 func (s *Service) EvictDoc(docID string) bool {
-	ok := s.store.Evict(docID)
-	s.mu.Lock()
-	delete(s.engines, docID)
-	s.mu.Unlock()
-	s.cache.RemovePrefix(docID + "\x00")
+	sh := s.shardFor(docID)
+	ok := sh.part.Evict(docID)
+	sh.lock()
+	delete(sh.engines, docID)
+	sh.mu.Unlock()
+	sh.cache.RemovePrefix(docID + "\x00")
 	return ok
 }
 
@@ -143,9 +214,10 @@ type Request struct {
 	// answer short the Response carries a continuation token in Next.
 	Limit int `json:"limit,omitempty"`
 	// Cursor resumes a paged answer: the opaque Next token of the
-	// previous page. The token pins the document generation; resuming
-	// after an evict/reload fails with a stale-cursor error (HTTP 410)
-	// rather than serving a page of a different tree.
+	// previous page. The token pins the owning shard and the document
+	// generation; resuming after an evict/reload — or after the corpus
+	// was resharded and the id relocated — fails with a stale-cursor
+	// error (HTTP 410) rather than serving a page of a different tree.
 	Cursor string `json:"cursor,omitempty"`
 }
 
@@ -176,50 +248,62 @@ type Response struct {
 // to page or stream an answer.
 type evalState struct {
 	resp  Response
+	sh    *svcShard
 	cur   *core.Cursor
 	eng   *core.Engine
 	gen   uint64
 	timer timer
 }
 
-// prepare runs the shared front half of Eval and Stream: strategy
-// parsing, engine lookup, cursor-token validation (document and
-// generation must match), evaluation, and seeking to the resume
-// position. On failure the returned state's resp.Err is set (and
-// metrics recorded); on success resp carries Strategy/Count/Visited.
+// prepare runs the shared front half of Eval and Stream: shard routing,
+// strategy parsing, engine lookup, cursor-token validation (shard,
+// document and generation must all match), evaluation, and seeking to
+// the resume position. On failure the returned state's resp.Err is set
+// (and metrics recorded on the owning shard); on success resp carries
+// Strategy/Count/Visited.
 func (s *Service) prepare(req Request) evalState {
-	st := evalState{resp: Response{Doc: req.Doc, Query: req.Query}}
+	sh := s.shardFor(req.Doc)
+	st := evalState{resp: Response{Doc: req.Doc, Query: req.Query}, sh: sh}
 	strat, ok := core.ParseStrategy(req.Strategy)
 	if !ok {
 		st.resp.Err = fmt.Sprintf("unknown strategy %q", req.Strategy)
-		s.metrics.recordError()
+		sh.metrics.recordError()
 		return st
 	}
-	eng, gen, err := s.engine(req.Doc)
+	eng, gen, err := sh.engine(req.Doc)
 	if err != nil {
 		st.resp.Err = err.Error()
 		st.resp.notFound = errors.Is(err, ErrNoDocument)
-		s.metrics.recordError()
+		sh.metrics.recordError()
 		return st
 	}
 	var after tree.NodeID
 	haveAfter := false
 	if req.Cursor != "" {
-		cdoc, cgen, clast, err := decodeCursor(req.Cursor)
+		cshard, cdoc, cgen, clast, err := decodeCursor(req.Cursor)
 		if err != nil {
 			st.resp.Err = err.Error()
-			s.metrics.recordError()
+			sh.metrics.recordError()
 			return st
 		}
 		if cdoc != req.Doc {
 			st.resp.Err = fmt.Sprintf("cursor is for document %q, not %q", cdoc, req.Doc)
-			s.metrics.recordError()
+			sh.metrics.recordError()
+			return st
+		}
+		if cshard != sh.index {
+			// The corpus was resharded since the token was issued (e.g.
+			// the daemon restarted with a different -shards) and the id
+			// relocated; the pinned partition no longer owns it.
+			st.resp.Err = fmt.Sprintf("stale cursor: document %q was relocated to a different shard since the cursor was issued", req.Doc)
+			st.resp.staleCursor = true
+			sh.metrics.recordError()
 			return st
 		}
 		if cgen != gen {
 			st.resp.Err = fmt.Sprintf("stale cursor: document %q was reloaded since the cursor was issued", req.Doc)
 			st.resp.staleCursor = true
-			s.metrics.recordError()
+			sh.metrics.recordError()
 			return st
 		}
 		after, haveAfter = clast, true
@@ -229,7 +313,7 @@ func (s *Service) prepare(req Request) evalState {
 	if err != nil {
 		st.resp.ElapsedUS = st.timer.elapsedMicros()
 		st.resp.Err = err.Error()
-		s.metrics.recordError()
+		sh.metrics.recordError()
 		return st
 	}
 	if haveAfter {
@@ -264,9 +348,9 @@ func (s *Service) Eval(req Request) Response {
 		nodes = append(nodes, v)
 	}
 	// A non-empty remainder means this page was cut short: hand out a
-	// resumption token pinned to the engine generation.
+	// resumption token pinned to the owning shard and engine generation.
 	if _, more := st.cur.Next(); more && len(nodes) > 0 {
-		resp.Next = encodeCursor(req.Doc, st.gen, nodes[len(nodes)-1])
+		resp.Next = encodeCursor(st.sh.index, req.Doc, st.gen, nodes[len(nodes)-1])
 	}
 	resp.Nodes = nodes
 	if req.Paths {
@@ -277,7 +361,7 @@ func (s *Service) Eval(req Request) Response {
 	}
 	elapsed := st.timer.elapsedMicros()
 	resp.ElapsedUS = elapsed
-	s.metrics.record(st.cur.Strategy(), elapsed, resp.Visited, resp.Count)
+	st.sh.metrics.record(st.cur.Strategy(), elapsed, resp.Visited, resp.Count)
 	return resp
 }
 
@@ -318,22 +402,90 @@ func (s *Service) EvalBatch(reqs []Request) []Response {
 	return out
 }
 
-// Stats is a point-in-time snapshot of the whole service.
-type Stats struct {
-	Documents []store.Stats `json:"documents"`
-	// Cache covers the shared compiled-query LRU across all documents.
+// ShardStats is the point-in-time picture of one serving partition.
+type ShardStats struct {
+	Shard     int `json:"shard"`
+	Documents int `json:"documents"`
+	// DocBytes estimates the resident bytes of the shard's documents
+	// plus their jumping indexes; ResidentBytes adds the shard's share
+	// of the compiled-query cache.
+	DocBytes      int64 `json:"doc_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Engines       int   `json:"engines"`
+	// Cache covers this shard's compiled-query LRU only.
 	Cache        qcache.Stats `json:"cache"`
 	CacheHitRate float64      `json:"cache_hit_rate"`
-	Queries      QueryStats   `json:"queries"`
+	// Lock-wait tells how long requests queued for this shard's engine
+	// table — the per-shard contention signal.
+	LockWaitMeanNS int64      `json:"lock_wait_mean_ns"`
+	LockWaitMaxNS  int64      `json:"lock_wait_max_ns"`
+	LockAcquires   uint64     `json:"lock_acquires"`
+	Queries        QueryStats `json:"queries"`
 }
 
-// Stats snapshots the store, cache and query counters.
+// Stats is a point-in-time snapshot of the whole service plus the
+// per-shard breakdown.
+type Stats struct {
+	Documents []store.Stats `json:"documents"`
+	Shards    []ShardStats  `json:"shards"`
+	// Cache aggregates the per-shard compiled-query LRUs (sizes and
+	// counters summed).
+	Cache        qcache.Stats `json:"cache"`
+	CacheHitRate float64      `json:"cache_hit_rate"`
+	// CacheBudget reports the shared byte budget when one is configured.
+	CacheBudget *qcache.BudgetStats `json:"cache_budget,omitempty"`
+	Queries     QueryStats          `json:"queries"`
+}
+
+// Stats snapshots the store, caches and query counters, globally and
+// per shard.
 func (s *Service) Stats() Stats {
-	cs := s.cache.Stats()
-	return Stats{
-		Documents:    s.store.List(),
-		Cache:        cs,
-		CacheHitRate: cs.HitRate(),
-		Queries:      s.metrics.snapshot(),
+	out := Stats{Documents: make([]store.Stats, 0, s.store.Len())}
+	var agg metrics
+	for _, sh := range s.shards {
+		cs := sh.cache.Stats()
+		var docBytes int64
+		docs := sh.part.List()
+		out.Documents = append(out.Documents, docs...)
+		for _, d := range docs {
+			docBytes += d.MemBytes
+		}
+		sh.mu.Lock()
+		engines := len(sh.engines)
+		sh.mu.Unlock()
+		ss := ShardStats{
+			Shard:         sh.index,
+			Documents:     len(docs),
+			DocBytes:      docBytes,
+			ResidentBytes: docBytes + cs.SizeBytes,
+			Engines:       engines,
+			Cache:         cs,
+			CacheHitRate:  cs.HitRate(),
+			LockWaitMaxNS: sh.lockWaitMaxNS.Load(),
+			LockAcquires:  sh.lockAcquires.Load(),
+			Queries:       sh.metrics.snapshot(),
+		}
+		if ss.LockAcquires > 0 {
+			ss.LockWaitMeanNS = sh.lockWaitNS.Load() / int64(ss.LockAcquires)
+		}
+		out.Shards = append(out.Shards, ss)
+		out.Cache.Size += cs.Size
+		out.Cache.Capacity += cs.Capacity
+		out.Cache.SizeBytes += cs.SizeBytes
+		out.Cache.MaxBytes += cs.MaxBytes
+		out.Cache.Hits += cs.Hits
+		out.Cache.Misses += cs.Misses
+		out.Cache.Evictions += cs.Evictions
+		sh.metrics.addTo(&agg)
 	}
+	sort.Slice(out.Documents, func(i, j int) bool {
+		return out.Documents[i].ID < out.Documents[j].ID
+	})
+	out.CacheHitRate = out.Cache.HitRate()
+	if s.budget != nil {
+		bs := s.budget.Stats()
+		out.CacheBudget = &bs
+	}
+	out.Queries = agg.snapshot()
+	return out
 }

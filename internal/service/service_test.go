@@ -4,13 +4,13 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/store"
+	"repro/internal/shard"
 	"repro/internal/xmark"
 )
 
 func newTestService(t *testing.T, opts Options) *Service {
 	t.Helper()
-	s := New(store.New(), opts)
+	s := New(shard.NewStore(1), opts)
 	if _, err := s.Store().LoadXML("d1",
 		[]byte("<r><a><b>x</b></a><a><b/><b/></a><c/></r>")); err != nil {
 		t.Fatal(err)
@@ -117,7 +117,7 @@ func TestReloadedDocGetsFreshCacheNamespace(t *testing.T) {
 	// answered from automata compiled against the old document — the
 	// engine generation in the cache key guarantees it even if a stale
 	// entry were re-inserted by an in-flight compile after the purge.
-	s := New(store.New(), Options{})
+	s := New(shard.NewStore(1), Options{})
 	if _, err := s.Store().LoadXML("d", []byte("<r><a><b/></a></r>")); err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestStoreBypassReloadRebuildsEngine(t *testing.T) {
 	// Evict/reload done directly on the exposed Store() (bypassing
 	// Service.EvictDoc) must not leave a stale engine serving the old
 	// tree: engine() revalidates the store handle on every call.
-	s := New(store.New(), Options{})
+	s := New(shard.NewStore(1), Options{})
 	if _, err := s.Store().LoadXML("d", []byte("<r><a><b/></a></r>")); err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +169,14 @@ func TestStoreBypassReloadRebuildsEngine(t *testing.T) {
 }
 
 func TestNulDocIDRejected(t *testing.T) {
-	s := New(store.New(), Options{})
+	s := New(shard.NewStore(1), Options{})
 	if _, err := s.Store().LoadXML("a\x00b", []byte("<r/>")); err == nil {
 		t.Error("NUL in doc id must be rejected (it aliases cache-key namespaces)")
 	}
 }
 
 func TestEvalBatchOrderAndResults(t *testing.T) {
-	s := New(store.New(), Options{Workers: 4})
+	s := New(shard.NewStore(1), Options{Workers: 4})
 	if _, err := s.Store().GenerateXMark("xm", 0.002, 1); err != nil {
 		t.Fatal(err)
 	}

@@ -95,7 +95,7 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 		// the query counters must see it; no stream was delivered, so
 		// the streaming counters (whose means are per-stream) are not
 		// polluted with an empty one.
-		s.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
+		st.sh.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
 		return nil
 	}
 	// First byte is measured after the header's encode+write+flush: it
@@ -141,8 +141,8 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 			// Client went away mid-stream. The evaluation itself ran to
 			// completion, so it counts as a query; then account for the
 			// chunks that did go out.
-			s.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
-			s.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+			st.sh.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
+			st.sh.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
 			return nil
 		}
 		sent += n
@@ -156,10 +156,10 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 		ElapsedUS: st.timer.elapsedMicros(),
 	}
 	if _, more := st.cur.Next(); more && sent > 0 {
-		trailer.Cursor = encodeCursor(req.Doc, st.gen, last)
+		trailer.Cursor = encodeCursor(st.sh.index, req.Doc, st.gen, last)
 	}
 	writeLine(trailer)
-	s.metrics.record(st.cur.Strategy(), trailer.ElapsedUS, st.resp.Visited, st.resp.Count)
-	s.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+	st.sh.metrics.record(st.cur.Strategy(), trailer.ElapsedUS, st.resp.Visited, st.resp.Count)
+	st.sh.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
 	return nil
 }

@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/store"
+	"repro/internal/shard"
 )
 
 // The stream-vs-materialize benchmark: one XMark document whose
@@ -28,7 +28,7 @@ const (
 
 func benchService(tb testing.TB) *Service {
 	tb.Helper()
-	svc := New(store.New(), Options{})
+	svc := New(shard.NewStore(1), Options{})
 	if _, err := svc.Store().GenerateXMark("xm", benchStreamScale, 1); err != nil {
 		tb.Fatal(err)
 	}

@@ -9,7 +9,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/store"
+	"repro/internal/shard"
 	"repro/internal/tree"
 )
 
@@ -29,7 +29,7 @@ func TestStreamEvictReloadRace(t *testing.T) {
 	// Ground truth per seed, computed on isolated stores.
 	exp := make(map[string][]tree.NodeID)
 	for _, seed := range seeds {
-		ref := New(store.New(), Options{Workers: 1})
+		ref := New(shard.NewStore(1), Options{Workers: 1})
 		if _, err := ref.Store().GenerateXMark("hot", 0.002, seed); err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +49,7 @@ func TestStreamEvictReloadRace(t *testing.T) {
 			strings.Contains(resp.Err, "no such document")
 	}
 
-	svc := New(store.New(), Options{CacheSize: 16})
+	svc := New(shard.NewStore(1), Options{CacheSize: 16})
 	if _, err := svc.Store().GenerateXMark("hot", 0.002, seeds[0]); err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/store"
+	"repro/internal/shard"
 	"repro/internal/tree"
 )
 
@@ -67,7 +67,7 @@ func streamLines(t *testing.T, url string, req Request) (StreamHeader, []StreamC
 // /query/stream delivers the exact one-shot answer as bounded NDJSON
 // chunks with a well-formed header and trailer.
 func TestStreamEndToEnd(t *testing.T) {
-	svc := New(store.New(), Options{})
+	svc := New(shard.NewStore(1), Options{})
 	if _, err := svc.Store().GenerateXMark("xm", 0.004, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestStreamEndToEnd(t *testing.T) {
 // trailer cursor and that resuming from it streams exactly the
 // remainder.
 func TestStreamLimitAndResume(t *testing.T) {
-	svc := New(store.New(), Options{})
+	svc := New(shard.NewStore(1), Options{})
 	if _, err := svc.Store().GenerateXMark("xm", 0.004, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestStreamLimitAndResume(t *testing.T) {
 // TestStreamPreflightErrors: failures before the first byte must come
 // back as plain JSON errors with the right status, not broken NDJSON.
 func TestStreamPreflightErrors(t *testing.T) {
-	svc := New(store.New(), Options{})
+	svc := New(shard.NewStore(1), Options{})
 	if _, err := svc.Store().GenerateXMark("xm", 0.002, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestStreamPreflightErrors(t *testing.T) {
 // document must be refused (410) once the document is evicted and
 // reloaded, even under the same id.
 func TestCursorStaleAfterReload(t *testing.T) {
-	svc := New(store.New(), Options{})
+	svc := New(shard.NewStore(1), Options{})
 	if _, err := svc.Store().GenerateXMark("xm", 0.002, 5); err != nil {
 		t.Fatal(err)
 	}

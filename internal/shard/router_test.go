@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticIDs are the 10k doc ids the distribution properties are
+// checked over: a mix of sequential, hierarchical and hash-unfriendly
+// shapes, the way real corpora name documents.
+func syntheticIDs() []string {
+	ids := make([]string, 0, 10_000)
+	for i := 0; i < 4000; i++ {
+		ids = append(ids, fmt.Sprintf("doc-%d", i))
+	}
+	for i := 0; i < 3000; i++ {
+		ids = append(ids, fmt.Sprintf("tenant-%d/corpus/xmark-%d.xml", i%97, i))
+	}
+	for i := 0; i < 3000; i++ {
+		ids = append(ids, fmt.Sprintf("%08x", i*2654435761))
+	}
+	return ids
+}
+
+// TestRouterDeterministicAcrossRestarts pins routing to fixed golden
+// assignments: the router must give the same answer in every process,
+// on every platform, forever — shard-qualified cursor tokens and warm
+// replicas depend on it. If this test ever fails, the hash or ring
+// construction changed and every persisted routing decision is invalid.
+func TestRouterDeterministicAcrossRestarts(t *testing.T) {
+	// Two independently constructed routers agree on everything (no
+	// map-iteration or seed dependence)...
+	a, b := NewRouter(4), NewRouter(4)
+	for _, id := range syntheticIDs() {
+		if a.Shard(id) != b.Shard(id) {
+			t.Fatalf("routers disagree on %q: %d vs %d", id, a.Shard(id), b.Shard(id))
+		}
+	}
+	// ...and match the assignments recorded when the ring was designed
+	// (a simulated process restart).
+	golden := map[string]int{
+		"doc-0":    2,
+		"doc-1":    2,
+		"doc-2":    2,
+		"xm":       0,
+		"hot":      3,
+		"tenant-7": 2,
+	}
+	for id, want := range golden {
+		if got := a.Shard(id); got != want {
+			t.Errorf("Shard(%q) = %d, want pinned %d (routing is no longer restart-stable)", id, got, want)
+		}
+	}
+}
+
+// TestRouterUniformity checks the consistent-hash ring spreads 10k
+// synthetic ids within ±20% of the uniform share at every shard count
+// the daemon is likely to run.
+func TestRouterUniformity(t *testing.T) {
+	ids := syntheticIDs()
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		r := NewRouter(n)
+		counts := make([]int, n)
+		for _, id := range ids {
+			counts[r.Shard(id)]++
+		}
+		mean := float64(len(ids)) / float64(n)
+		for s, c := range counts {
+			if dev := float64(c)/mean - 1; dev < -0.20 || dev > 0.20 {
+				t.Errorf("n=%d shard %d holds %d ids (%.1f%% of uniform share %0.f)",
+					n, s, c, 100*float64(c)/mean, mean)
+			}
+		}
+	}
+}
+
+// TestRouterReshardingRelocation checks the defining consistent-hashing
+// property: growing N -> N+1 shards relocates at most 1.5x the ideal
+// 1/(N+1) fraction of ids, and every relocated id lands on the new
+// shard (ids never shuffle between surviving shards).
+func TestRouterReshardingRelocation(t *testing.T) {
+	ids := syntheticIDs()
+	for n := 1; n <= 8; n++ {
+		old, grown := NewRouter(n), NewRouter(n+1)
+		moved := 0
+		for _, id := range ids {
+			was, is := old.Shard(id), grown.Shard(id)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != n {
+				t.Errorf("n=%d->%d: %q moved shard %d -> %d, not to the new shard %d",
+					n, n+1, id, was, is, n)
+			}
+		}
+		limit := int(1.5 * float64(len(ids)) / float64(n+1))
+		if moved > limit {
+			t.Errorf("n=%d->%d relocated %d of %d ids, want <= %d (1.5x ideal %d)",
+				n, n+1, moved, len(ids), limit, len(ids)/(n+1))
+		}
+		if moved == 0 && n >= 1 {
+			t.Errorf("n=%d->%d relocated nothing; the new shard would start empty forever", n, n+1)
+		}
+	}
+}
+
+// TestRouterEdgeCases pins clamping and the single-shard fast path.
+func TestRouterEdgeCases(t *testing.T) {
+	if got := NewRouter(0).NumShards(); got != 1 {
+		t.Errorf("NewRouter(0) shards = %d, want 1", got)
+	}
+	if got := NewRouter(-3).Shard("anything"); got != 0 {
+		t.Errorf("negative shard count must clamp to one shard, got shard %d", got)
+	}
+	r := NewRouter(8)
+	for _, id := range []string{"", "a", "\x00", "doc-0"} {
+		if s := r.Shard(id); s < 0 || s >= 8 {
+			t.Errorf("Shard(%q) = %d out of range", id, s)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/xmlparse"
+)
+
+func parsed(t *testing.T, xml string) *tree.Document {
+	t.Helper()
+	d, err := xmlparse.Parse([]byte(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestConcurrentLoadSingleFlight is the duplicate-index-build
+// regression test: two concurrent loads of the same id must run exactly
+// one build (parse + index). The loser waits on the winner's in-flight
+// load and returns ErrExists without ever invoking its own build —
+// before single-flighting, both sides paid the full build and one
+// discarded it on ErrExists.
+func TestConcurrentLoadSingleFlight(t *testing.T) {
+	s := New()
+	doc := parsed(t, "<r><a/><b/></r>")
+	var builds atomic.Int32
+	winnerBuilding := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var winHandle *Handle
+	var winErr error
+	go func() {
+		defer wg.Done()
+		winHandle, winErr = s.load("d", SourceXML, func() (*tree.Document, error) {
+			builds.Add(1)
+			close(winnerBuilding)
+			<-release // hold the load slot until the loser has committed to waiting
+			return doc, nil
+		})
+	}()
+
+	<-winnerBuilding // the winner holds the load slot from here on
+	wg.Add(1)
+	var loseErr error
+	go func() {
+		defer wg.Done()
+		_, loseErr = s.load("d", SourceXML, func() (*tree.Document, error) {
+			builds.Add(1)
+			return doc, nil
+		})
+	}()
+	// The loser is now either blocked on the in-flight call or about to
+	// be; releasing the winner lets both finish in either interleaving.
+	close(release)
+	wg.Wait()
+
+	if winErr != nil || winHandle == nil {
+		t.Fatalf("winner: %v", winErr)
+	}
+	if !errors.Is(loseErr, ErrExists) {
+		t.Fatalf("loser error = %v, want ErrExists", loseErr)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builds = %d, want 1 (loser must not parse or index)", n)
+	}
+	if h, ok := s.Get("d"); !ok || h != winHandle {
+		t.Error("winner's handle not resident")
+	}
+}
+
+// TestSingleFlightLoserRetriesAfterWinnerFails: when the in-flight load
+// fails (e.g. a parse error), a concurrent loader of the same id must
+// not be poisoned with ErrExists — it takes over the slot and runs its
+// own build.
+func TestSingleFlightLoserRetriesAfterWinnerFails(t *testing.T) {
+	s := New()
+	doc := parsed(t, "<r/>")
+	winnerBuilding := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var winErr error
+	go func() {
+		defer wg.Done()
+		_, winErr = s.load("d", SourceXML, func() (*tree.Document, error) {
+			close(winnerBuilding)
+			<-release
+			return nil, fmt.Errorf("synthetic parse failure")
+		})
+	}()
+
+	<-winnerBuilding
+	wg.Add(1)
+	var h2 *Handle
+	var err2 error
+	go func() {
+		defer wg.Done()
+		h2, err2 = s.load("d", SourceXML, func() (*tree.Document, error) { return doc, nil })
+	}()
+	close(release)
+	wg.Wait()
+
+	if winErr == nil {
+		t.Fatal("winner must surface its build error")
+	}
+	if err2 != nil || h2 == nil {
+		t.Fatalf("second loader after failed winner: %v", err2)
+	}
+	if _, ok := s.Get("d"); !ok {
+		t.Error("second loader's document not resident")
+	}
+}
+
+// TestSingleFlightBuildPanicReleasesSlot: a panicking build must not
+// wedge every later load of the id, and waiters must get an error, not
+// a hang.
+func TestSingleFlightBuildPanicReleasesSlot(t *testing.T) {
+	s := New()
+	doc := parsed(t, "<r/>")
+	func() {
+		defer func() { recover() }()
+		_, _ = s.load("d", SourceXML, func() (*tree.Document, error) { panic("boom") })
+	}()
+	h, err := s.load("d", SourceXML, func() (*tree.Document, error) { return doc, nil })
+	if err != nil || h == nil {
+		t.Fatalf("load after panicked build: %v", err)
+	}
+}
+
+// TestConcurrentGenerateXMarkSingleFlight hammers the public surface:
+// many goroutines generating the same id concurrently must yield
+// exactly one resident document and ErrExists everywhere else, with no
+// torn state.
+func TestConcurrentGenerateXMarkSingleFlight(t *testing.T) {
+	s := New()
+	const loaders = 8
+	var wins, exists atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < loaders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.GenerateXMark("xm", 0.001, 7)
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, ErrExists):
+				exists.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 || exists.Load() != loaders-1 {
+		t.Errorf("wins=%d exists=%d, want 1/%d", wins.Load(), exists.Load(), loaders-1)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}

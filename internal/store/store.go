@@ -65,18 +65,35 @@ type Handle struct {
 
 // Store is a concurrency-safe registry of loaded documents.
 type Store struct {
-	mu   sync.RWMutex
-	docs map[string]*Handle
+	mu      sync.RWMutex
+	docs    map[string]*Handle
+	loading map[string]*loadCall
+}
+
+// loadCall is one in-flight load other loaders of the same id wait on:
+// parse + index build are the expensive parts of a load, and two
+// concurrent loads of the same id must not both pay them when only one
+// can win the slot. The loser observes the winner's outcome through err.
+type loadCall struct {
+	done chan struct{}
+	err  error
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{docs: make(map[string]*Handle)}
+	return &Store{
+		docs:    make(map[string]*Handle),
+		loading: make(map[string]*loadCall),
+	}
 }
 
-// Add registers an already-built document under id, building its index.
-// It fails if the id is taken (evict first to replace).
-func (s *Store) Add(id string, d *tree.Document, src Source) (*Handle, error) {
+// load is the single-flight core of every registration path. build runs
+// outside the lock (concurrent loads of distinct ids overlap), but at
+// most one build per id is ever in flight: a concurrent load of the
+// same id waits, and when the winner succeeds the loser returns
+// ErrExists without having parsed or indexed anything. If the winner
+// fails, one waiter takes over the load slot and runs its own build.
+func (s *Store) load(id string, src Source, build func() (*tree.Document, error)) (*Handle, error) {
 	if id == "" {
 		return nil, fmt.Errorf("store: empty document id")
 	}
@@ -85,8 +102,64 @@ func (s *Store) Add(id string, d *tree.Document, src Source) (*Handle, error) {
 	if strings.ContainsRune(id, 0) {
 		return nil, fmt.Errorf("store: document id must not contain NUL")
 	}
-	// Build the index outside the lock: it is the expensive part, and
-	// concurrent loads of distinct documents should overlap.
+	for {
+		s.mu.Lock()
+		if _, exists := s.docs[id]; exists {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("store: document %q %w", id, ErrExists)
+		}
+		if c, inflight := s.loading[id]; inflight {
+			s.mu.Unlock()
+			<-c.done
+			if c.err == nil {
+				return nil, fmt.Errorf("store: document %q %w", id, ErrExists)
+			}
+			// The winner failed (e.g. a parse error); this source may
+			// still be loadable — retry for the load slot.
+			continue
+		}
+		c := &loadCall{done: make(chan struct{})}
+		s.loading[id] = c
+		s.mu.Unlock()
+
+		h, err := s.runBuild(id, src, build, c)
+		if err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+}
+
+// runBuild executes one build while holding the load slot for id,
+// publishing the handle and waking waiters. A panicking build (or
+// parser) must still release the slot and wake waiters with an error,
+// or every later load of the id would wedge; the panic is re-raised.
+func (s *Store) runBuild(id string, src Source, build func() (*tree.Document, error), c *loadCall) (h *Handle, err error) {
+	finished := false
+	defer func() {
+		if !finished {
+			err = fmt.Errorf("store: loading %q panicked", id)
+		}
+		s.mu.Lock()
+		delete(s.loading, id)
+		if err == nil {
+			s.docs[id] = h
+		}
+		s.mu.Unlock()
+		c.err = err
+		close(c.done)
+	}()
+	d, err := build()
+	if err == nil {
+		h = buildHandle(id, d, src)
+	}
+	finished = true
+	return h, err
+}
+
+// buildHandle constructs the immutable handle, building the index —
+// the expensive step the single-flight protocol exists to deduplicate.
+func buildHandle(id string, d *tree.Document, src Source) *Handle {
 	h := &Handle{ID: id, Doc: d, Index: index.New(d)}
 	h.Stats = Stats{
 		ID:       id,
@@ -96,22 +169,27 @@ func (s *Store) Add(id string, d *tree.Document, src Source) (*Handle, error) {
 		Source:   src,
 		LoadedAt: time.Now(),
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.docs[id]; exists {
-		return nil, fmt.Errorf("store: document %q %w", id, ErrExists)
-	}
-	s.docs[id] = h
-	return h, nil
+	return h
 }
 
-// LoadXML parses XML bytes and registers the document.
+// Add registers an already-built document under id, building its index.
+// It fails if the id is taken (evict first to replace).
+func (s *Store) Add(id string, d *tree.Document, src Source) (*Handle, error) {
+	return s.load(id, src, func() (*tree.Document, error) { return d, nil })
+}
+
+// LoadXML parses XML bytes and registers the document. Parsing is
+// single-flighted per id: a concurrent load of an id already being
+// loaded waits instead of parsing and indexing a document it can only
+// lose to ErrExists.
 func (s *Store) LoadXML(id string, src []byte) (*Handle, error) {
-	d, err := xmlparse.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("store: parsing %q: %w", id, err)
-	}
-	return s.Add(id, d, SourceXML)
+	return s.load(id, SourceXML, func() (*tree.Document, error) {
+		d, err := xmlparse.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("store: parsing %q: %w", id, err)
+		}
+		return d, nil
+	})
 }
 
 // LoadXMLFile reads and parses an XML file and registers the document.
@@ -126,11 +204,13 @@ func (s *Store) LoadXMLFile(id, path string) (*Handle, error) {
 // LoadBinary reads a document in the tree.WriteTo format and registers
 // it; for large XMark trees this skips XML parsing entirely.
 func (s *Store) LoadBinary(id string, r io.Reader) (*Handle, error) {
-	d, err := tree.ReadDocument(r)
-	if err != nil {
-		return nil, fmt.Errorf("store: reading %q: %w", id, err)
-	}
-	return s.Add(id, d, SourceBinary)
+	return s.load(id, SourceBinary, func() (*tree.Document, error) {
+		d, err := tree.ReadDocument(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %q: %w", id, err)
+		}
+		return d, nil
+	})
 }
 
 // LoadBinaryFile reads a serialized document file and registers it.
@@ -149,8 +229,9 @@ func (s *Store) GenerateXMark(id string, scale float64, seed int64) (*Handle, er
 	if scale <= 0 {
 		return nil, fmt.Errorf("store: xmark scale must be > 0, got %v", scale)
 	}
-	d := xmark.Generate(xmark.Config{Scale: scale, Seed: seed})
-	return s.Add(id, d, SourceXMark)
+	return s.load(id, SourceXMark, func() (*tree.Document, error) {
+		return xmark.Generate(xmark.Config{Scale: scale, Seed: seed}), nil
+	})
 }
 
 // Get returns the handle for id.
