@@ -109,7 +109,8 @@ func (a *ASTA) EvalLazy(d *tree.Document, ix *index.Index, opt Options) Result {
 		e.initPureSets()
 		e.cur = ix.NewCursors()
 	}
-	g := e.evalChild(d.Root(), a.Top, e.internSet(a.Top))
+	var g RSet
+	e.evalChild(d.Root(), a.Top, e.internSet(a.Top), &g)
 	res := Result{Stats: e.stats}
 	acc := g.Sat & a.Top
 	if acc == 0 {
@@ -118,9 +119,12 @@ func (a *ASTA) EvalLazy(d *tree.Document, ix *index.Index, opt Options) Result {
 	res.Accepted = true
 	var all *NodeList
 	acc.Each(func(q State) {
-		all = concat(all, g.List(q))
+		all = rawConcat(all, g.list(q, &e.arena), &e.arena)
 	})
-	res.List = all
+	// Accumulation concatenated in O(1) without balancing; rebuild once
+	// into the balanced chunked form so every rope that leaves the
+	// evaluator iterates and seeks in O(log n).
+	res.List = rebalance(all, &e.arena)
 	return res
 }
 
@@ -212,55 +216,61 @@ func (e *evaluator) internSet(r StateSet) int32 {
 }
 
 // eval is Algorithm 4.1 proper: evaluate node v under the incoming state
-// set r (with interned id rID in memo mode, else -1).
-func (e *evaluator) eval(v tree.NodeID, r StateSet, rID int32) RSet {
+// set r (with interned id rID in memo mode, else -1), filling out —
+// passed down instead of returned so the (large) result sets are not
+// copied through every stack frame.
+func (e *evaluator) eval(v tree.NodeID, r StateSet, rID int32, out *RSet) {
 	e.stats.Visited++
 	l := e.d.Label(v)
 	ti := e.lookupTrans(r, rID, l)
 	if len(ti.trans) == 0 {
-		return emptyRSet
+		return
 	}
-	g1 := e.evalChild(e.d.BinaryLeft(v), ti.r1, ti.r1ID)
+	var g1, g2 RSet
+	e.evalChild(e.d.BinaryLeft(v), ti.r1, ti.r1ID, &g1)
 	r2, r2ID := ti.r2, ti.r2ID
 	if e.opt.InfoProp {
 		r2, r2ID = e.lookupR2(ti, g1.Sat)
 	}
-	g2 := e.evalChild(e.d.BinaryRight(v), r2, r2ID)
-	return e.applyTrans(ti, v, &g1, &g2)
+	e.evalChild(e.d.BinaryRight(v), r2, r2ID, &g2)
+	e.applyTrans(ti, v, &g1, &g2, out)
 }
 
 // evalChild evaluates the subtree at c (which may be the # leaf Nil)
-// under r, applying the relevant-node jumps of §4.3 when enabled.
-func (e *evaluator) evalChild(c tree.NodeID, r StateSet, rID int32) RSet {
+// under r, applying the relevant-node jumps of §4.3 when enabled. out
+// must be empty on entry.
+func (e *evaluator) evalChild(c tree.NodeID, r StateSet, rID int32, out *RSet) {
 	if c == tree.Nil || r == 0 {
-		return emptyRSet
+		return
 	}
 	if !e.opt.Jump {
-		return e.eval(c, r, rID)
+		e.eval(c, r, rID, out)
+		return
 	}
 	ji := e.lookupJump(r, rID)
 	if ji.kind != jumpNone && ji.essential.Contains(e.d.Label(c)) {
-		return e.eval(c, r, rID)
+		e.eval(c, r, rID, out)
+		return
 	}
 	switch ji.kind {
 	case jumpTopMost:
-		return e.jumpTopMostRegion(c, r, rID, ji)
+		e.jumpTopMostRegion(c, r, rID, ji, out)
 	case jumpRightPath:
 		e.stats.Jumps++
 		u := e.cur.Rt(c, ji.essential)
 		if u == index.Nil {
-			return emptyRSet
+			return
 		}
-		return e.eval(u, r, rID)
+		e.eval(u, r, rID, out)
 	case jumpLeftPath:
 		e.stats.Jumps++
 		u := e.ix.Lt(c, ji.essential)
 		if u == index.Nil {
-			return emptyRSet
+			return
 		}
-		return e.eval(u, r, rID)
+		e.eval(u, r, rID, out)
 	default:
-		return e.eval(c, r, rID)
+		e.eval(c, r, rID, out)
 	}
 }
 
@@ -271,15 +281,15 @@ func (e *evaluator) evalChild(c tree.NodeID, r StateSet, rID int32) RSet {
 // satisfied by an earlier part of the region and cannot mark nodes are
 // dropped for the remaining enumeration — the "only one witness" effect
 // that makes the Q13-Q15 predicates of Figure 3 nearly free.
-func (e *evaluator) jumpTopMostRegion(c tree.NodeID, r StateSet, rID int32, ji jumpInfo) RSet {
+func (e *evaluator) jumpTopMostRegion(c tree.NodeID, r StateSet, rID int32, ji jumpInfo, out *RSet) {
 	ids, ok := ji.essential.Finite()
 	if !ok {
-		return e.eval(c, r, rID)
+		e.eval(c, r, rID, out)
+		return
 	}
 	e.stats.Jumps++
 	end := e.ix.BinEnd(c)
 	after := c
-	var out RSet
 	for {
 		best := tree.Nil
 		for _, l := range ids {
@@ -289,9 +299,10 @@ func (e *evaluator) jumpTopMostRegion(c tree.NodeID, r StateSet, rID int32, ji j
 			}
 		}
 		if best == tree.Nil {
-			return out
+			return
 		}
-		g := e.eval(best, r, rID)
+		var g RSet
+		e.eval(best, r, rID, &g)
 		out.union(&g, &e.arena)
 		after = e.ix.BinEnd(best)
 		if !e.opt.InfoProp {
@@ -304,7 +315,7 @@ func (e *evaluator) jumpTopMostRegion(c tree.NodeID, r StateSet, rID int32, ji j
 			continue
 		}
 		if pruned == 0 {
-			return out
+			return
 		}
 		r = pruned
 		rID = e.internSet(r)
@@ -478,7 +489,7 @@ func (e *evaluator) partial(f *Formula, sat1 StateSet) (int8, StateSet) {
 
 // applyTrans is eval_trans (Definition C.3): evaluate the active
 // transitions' formulas under the children's results and build Γ.
-func (e *evaluator) applyTrans(ti *transInfo, v tree.NodeID, g1, g2 *RSet) RSet {
+func (e *evaluator) applyTrans(ti *transInfo, v tree.NodeID, g1, g2, out *RSet) {
 	var rec *recipe
 	if ti.recipes != nil {
 		k := satPair{g1.Sat, g2.Sat}
@@ -493,18 +504,17 @@ func (e *evaluator) applyTrans(ti *transInfo, v tree.NodeID, g1, g2 *RSet) RSet 
 	} else {
 		rec = e.computeRecipe(ti, g1.Sat, g2.Sat)
 	}
-	out := RSet{Sat: rec.sat}
+	out.Sat = rec.sat
 	for _, o := range rec.ops {
 		switch o.kind {
 		case opMark:
-			out.add(o.target, e.arena.single(v), &e.arena)
+			out.addNode(o.target, v, &e.arena)
 		case opLeft:
-			out.add(o.target, g1.List(o.src), &e.arena)
+			out.add(o.target, g1.list(o.src, &e.arena), &e.arena)
 		case opRight:
-			out.add(o.target, g2.List(o.src), &e.arena)
+			out.add(o.target, g2.list(o.src, &e.arena), &e.arena)
 		}
 	}
-	return out
 }
 
 // computeRecipe evaluates every active transition's formula against the

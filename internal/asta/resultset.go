@@ -6,70 +6,365 @@ import (
 	"repro/internal/tree"
 )
 
-// NodeList is an immutable rope of nodes with O(1) concatenation — the
-// "simple lists with constant time concatenation" of §4.4. Interior nodes
-// are concatenations, leaves single nodes; sharing is safe because ropes
-// are never mutated.
+// NodeList is an immutable rope of nodes — the "simple lists with
+// constant time concatenation" of §4.4, upgraded from pointer-per-node
+// cells to array-chunked leaves combined into a height-balanced tree.
+// Leaves hold up to leafMax node ids in a contiguous block; interior
+// nodes are concatenations and always have both children. Concat
+// rebalances when sibling heights diverge (the classic AVL join), so
+// the tree height — and with it an Iter's stack — stays O(log n) no
+// matter how left-leaning the construction order was. Every node caches
+// its subtree metadata (element count, adjacent-duplicate count,
+// first/last element, sortedness), which makes IsSorted and the
+// duplicate-free cardinality O(1), lets Flatten preallocate exactly,
+// and turns a paged cursor's seek into a logarithmic descent that skips
+// whole subtrees. Sharing is safe because ropes are never mutated.
 type NodeList struct {
-	v    tree.NodeID
+	// l, r are the interior children; both nil on leaves, both non-nil
+	// on interior nodes.
 	l, r *NodeList
+	// elems is the leaf payload (len >= 1); nil on interior nodes.
+	elems []tree.NodeID
+	// count is the subtree element count, duplicates included.
+	count int32
+	// dups counts adjacent-equal pairs in concatenation order; for a
+	// sorted subtree count-dups is the duplicate-free cardinality.
+	dups int32
+	// first, last are the subtree's first and last elements in
+	// concatenation order. On a sorted subtree they are the minimum and
+	// maximum node id — the bounds the seek descent prunes with.
+	first, last tree.NodeID
+	// height is 1 for leaves. Exposed ropes are balanced (O(log count));
+	// during evaluation raw accumulation chains can be arbitrarily tall,
+	// which is why this is not a uint8.
+	height int32
+	// sorted reports the subtree is non-decreasing in concatenation
+	// order, maintained incrementally at construction.
+	sorted bool
 }
 
-// single returns a one-element list.
-func single(v tree.NodeID) *NodeList { return &NodeList{v: v} }
+// leafMax is the chunk size: the largest element count a single leaf
+// holds. 128 ids = 512 bytes, a few cache lines per leaf.
+const leafMax = 128
 
-// concat returns the concatenation of a and b in O(1).
-func concat(a, b *NodeList) *NodeList {
+// Single returns a one-element list.
+func Single(v tree.NodeID) *NodeList { return newLeaf([]tree.NodeID{v}, nil) }
+
+// Concat returns the height-balanced concatenation of a and b. Small
+// adjacent leaves are merged into one chunk; diverging sibling heights
+// are rebalanced on the way, so repeated one-sided concatenation — the
+// evaluator's left-accumulating order — still yields an O(log n) tall
+// tree. Cost is O(|height(a)-height(b)|).
+func Concat(a, b *NodeList) *NodeList { return join(a, b, nil) }
+
+// single and concat are the arena-free internal spellings.
+func single(v tree.NodeID) *NodeList  { return Single(v) }
+func concat(a, b *NodeList) *NodeList { return Concat(a, b) }
+
+// allocNode takes a rope cell from the arena, or the heap when ar is
+// nil (the exported constructors; evaluation always passes its arena).
+func allocNode(ar *cellArena) *NodeList {
+	if ar != nil {
+		return ar.alloc()
+	}
+	return new(NodeList)
+}
+
+// allocIDs returns an empty slice with capacity n for leaf storage.
+func allocIDs(ar *cellArena, n int) []tree.NodeID {
+	if ar != nil {
+		return ar.allocIDs(n)
+	}
+	return make([]tree.NodeID, 0, n)
+}
+
+// newLeaf wraps elems (len >= 1, ownership transferred) in a leaf,
+// computing the chunk metadata in one scan.
+func newLeaf(elems []tree.NodeID, ar *cellArena) *NodeList {
+	n := allocNode(ar)
+	*n = NodeList{
+		elems:  elems,
+		count:  int32(len(elems)),
+		first:  elems[0],
+		last:   elems[len(elems)-1],
+		height: 1,
+		sorted: true,
+	}
+	for i := 1; i < len(elems); i++ {
+		switch {
+		case elems[i] < elems[i-1]:
+			n.sorted = false
+		case elems[i] == elems[i-1]:
+			n.dups++
+		}
+	}
+	return n
+}
+
+// interior builds the concatenation node over a and b (both non-nil),
+// combining the cached metadata in O(1). Callers keep the balance
+// invariant; interior itself only records heights.
+func interior(a, b *NodeList, ar *cellArena) *NodeList {
+	n := allocNode(ar)
+	*n = NodeList{
+		l:      a,
+		r:      b,
+		count:  a.count + b.count,
+		dups:   a.dups + b.dups,
+		first:  a.first,
+		last:   b.last,
+		sorted: a.sorted && b.sorted && a.last <= b.first,
+	}
+	if a.last == b.first {
+		n.dups++
+	}
+	h := a.height
+	if b.height > h {
+		h = b.height
+	}
+	n.height = h + 1
+	return n
+}
+
+// mergeable decides whether two adjacent leaves fuse into one chunk:
+// they must fit, and they must be of similar size. The similarity rule
+// is what amortizes the copying — fusing a single onto an ever-growing
+// chunk would copy the whole prefix on every append (quadratic in the
+// chunk size); requiring the smaller side to be at least half the
+// larger means each element is copied O(log leafMax) times before its
+// chunk is full, like binary-counter merging.
+func mergeable(la, lb int) bool {
+	if la+lb > leafMax {
+		return false
+	}
+	if la > lb {
+		la, lb = lb, la
+	}
+	return 2*la >= lb
+}
+
+// mergeLeaves fuses two adjacent leaves into one chunk (combined length
+// <= leafMax). Metadata combines like interior's, so no rescan.
+func mergeLeaves(a, b *NodeList, ar *cellArena) *NodeList {
+	elems := allocIDs(ar, len(a.elems)+len(b.elems))
+	elems = append(elems, a.elems...)
+	elems = append(elems, b.elems...)
+	n := allocNode(ar)
+	*n = NodeList{
+		elems:  elems,
+		count:  a.count + b.count,
+		dups:   a.dups + b.dups,
+		first:  a.first,
+		last:   b.last,
+		height: 1,
+		sorted: a.sorted && b.sorted && a.last <= b.first,
+	}
+	if a.last == b.first {
+		n.dups++
+	}
+	return n
+}
+
+// join is the balanced concatenation: the join algorithm of
+// height-balanced (AVL) trees, without a middle key. The shorter side
+// is inserted along the taller side's spine and rotations repair any
+// height divergence on the way back up, so the result is
+// height-balanced whenever the inputs are; the work (and the handful of
+// fresh nodes — inputs are never mutated, they may be shared) is
+// proportional to the height difference.
+func join(a, b *NodeList, ar *cellArena) *NodeList {
 	if a == nil {
 		return b
 	}
 	if b == nil {
 		return a
 	}
-	return &NodeList{l: a, r: b}
+	if a.l == nil && b.l == nil && mergeable(len(a.elems), len(b.elems)) {
+		return mergeLeaves(a, b, ar)
+	}
+	switch {
+	case a.height > b.height+1:
+		return joinRight(a, b, ar)
+	case b.height > a.height+1:
+		return joinLeft(a, b, ar)
+	default:
+		return interior(a, b, ar)
+	}
 }
 
-// cellArena chunk-allocates rope cells: result lists live only for the
-// duration of one evaluation, so batching their allocation removes the
-// dominant per-node GC cost. Addresses are stable because a chunk is
-// never grown, only replaced.
+// joinRight attaches the shorter b along a's right spine
+// (a.height > b.height+1, so a is interior).
+func joinRight(a, b *NodeList, ar *cellArena) *NodeList {
+	l, c := a.l, a.r
+	var t *NodeList
+	if c.height <= b.height+1 {
+		t = join(c, b, ar)
+	} else {
+		t = joinRight(c, b, ar)
+	}
+	return balanceRight(l, t, ar)
+}
+
+// balanceRight builds interior(l, t) where t may have ended up two
+// taller than l; the standard single/double rotation restores the
+// invariant.
+func balanceRight(l, t *NodeList, ar *cellArena) *NodeList {
+	if t.height <= l.height+1 {
+		return interior(l, t, ar)
+	}
+	// t.height == l.height+2, so t is interior with AVL children.
+	if t.l.height <= t.r.height {
+		return interior(interior(l, t.l, ar), t.r, ar)
+	}
+	tl := t.l
+	return interior(interior(l, tl.l, ar), interior(tl.r, t.r, ar), ar)
+}
+
+// rawConcat is the evaluator's O(1) concatenation: one interior cell,
+// metadata combined, no rebalancing. Evaluation left-accumulates, so
+// raw chains are degenerate (height ~ number of concats); they stay
+// private to the evaluator and are rebuilt into the balanced chunked
+// form by rebalance before a rope is exposed. Splitting construction
+// from balancing keeps the hot loop at old cost (one cell write per
+// concat) while every rope a consumer can see is O(log n) tall.
+func rawConcat(a, b *NodeList, ar *cellArena) *NodeList {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return interior(a, b, ar)
+}
+
+// rebalance rebuilds a raw accumulation chain into the exposed form:
+// elements are collected once into a contiguous block, chopped into
+// near-equal chunks of up to leafMax, and covered by a perfectly
+// balanced interior tree built by bisection. Linear time, one element
+// copy, exact allocation. Leaves pass through untouched; every interior
+// rope is rebuilt, so exposure guarantees the full balance invariant no
+// matter what shape accumulation produced.
+func rebalance(nl *NodeList, ar *cellArena) *NodeList {
+	if nl == nil || nl.l == nil {
+		return nl
+	}
+	elems := allocIDs(ar, int(nl.count))
+	var stack []*NodeList
+	stack = append(stack, nl)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for n.l != nil {
+			stack = append(stack, n.r)
+			n = n.l
+		}
+		elems = append(elems, n.elems...)
+	}
+	leaves := (len(elems) + leafMax - 1) / leafMax
+	return buildBalanced(elems, leaves, ar)
+}
+
+// buildBalanced covers elems with k leaves of near-equal size and a
+// bisection tree above them; heights across any split differ by at
+// most one, so the result satisfies the AVL invariant.
+func buildBalanced(elems []tree.NodeID, k int, ar *cellArena) *NodeList {
+	if k <= 1 {
+		return newLeaf(elems, ar)
+	}
+	half := k / 2
+	mid := len(elems) * half / k
+	return interior(
+		buildBalanced(elems[:mid], half, ar),
+		buildBalanced(elems[mid:], k-half, ar),
+		ar,
+	)
+}
+
+// joinLeft mirrors joinRight for b.height > a.height+1.
+func joinLeft(a, b *NodeList, ar *cellArena) *NodeList {
+	c, r := b.l, b.r
+	var t *NodeList
+	if c.height <= a.height+1 {
+		t = join(a, c, ar)
+	} else {
+		t = joinLeft(a, c, ar)
+	}
+	return balanceLeft(t, r, ar)
+}
+
+// balanceLeft mirrors balanceRight: t may be two taller than r.
+func balanceLeft(t, r *NodeList, ar *cellArena) *NodeList {
+	if t.height <= r.height+1 {
+		return interior(t, r, ar)
+	}
+	if t.r.height <= t.l.height {
+		return interior(t.l, interior(t.r, r, ar), ar)
+	}
+	tr := t.r
+	return interior(interior(t.l, tr.l, ar), interior(tr.r, r, ar), ar)
+}
+
+// cellArena chunk-allocates rope cells and leaf storage: result lists
+// live only for the duration of one evaluation, so batching their
+// allocation removes the dominant per-node GC cost. Addresses are
+// stable because a chunk is never grown, only replaced.
 type cellArena struct {
-	chunk []NodeList
+	cells []NodeList
+	ids   []tree.NodeID
 }
 
-const arenaChunk = 2048
+const (
+	arenaChunk = 512  // rope cells per chunk (cells now cover up to leafMax elems each)
+	idChunk    = 4096 // leaf ids per storage chunk
+)
 
 func (a *cellArena) alloc() *NodeList {
-	if len(a.chunk) == cap(a.chunk) {
-		a.chunk = make([]NodeList, 0, arenaChunk)
+	if len(a.cells) == cap(a.cells) {
+		a.cells = make([]NodeList, 0, arenaChunk)
 	}
-	a.chunk = a.chunk[:len(a.chunk)+1]
-	return &a.chunk[len(a.chunk)-1]
+	a.cells = a.cells[:len(a.cells)+1]
+	return &a.cells[len(a.cells)-1]
 }
 
-func (a *cellArena) single(v tree.NodeID) *NodeList {
-	c := a.alloc()
-	c.v = v
-	c.l, c.r = nil, nil
-	return c
+// allocIDs carves an empty, capacity-n window from the id chunk. The
+// window is exclusively the caller's: the full-slice-expression cap
+// keeps later carvings (and appends past the window) out of it.
+func (a *cellArena) allocIDs(n int) []tree.NodeID {
+	if cap(a.ids)-len(a.ids) < n {
+		c := idChunk
+		if n > c {
+			c = n
+		}
+		a.ids = make([]tree.NodeID, 0, c)
+	}
+	base := len(a.ids)
+	a.ids = a.ids[:base+n]
+	return a.ids[base : base : base+n]
 }
 
-func (a *cellArena) concat(x, y *NodeList) *NodeList {
-	if x == nil {
-		return y
+// Len returns the total element count, duplicates included, in O(1).
+func (nl *NodeList) Len() int {
+	if nl == nil {
+		return 0
 	}
-	if y == nil {
-		return x
-	}
-	c := a.alloc()
-	c.l, c.r = x, y
-	return c
+	return int(nl.count)
 }
 
-// Walk calls f on every leaf in concatenation order (duplicates
-// included), stopping early when f returns false; it reports whether the
-// walk ran to completion. Unlike Flatten it allocates no output slice,
-// which is what lets large answers be consumed incrementally.
+// Distinct returns the element count after adjacent-duplicate removal,
+// in O(1). On a sorted rope (where equal elements are necessarily
+// adjacent) this is the exact duplicate-free cardinality — what a
+// streaming cursor reports without walking anything.
+func (nl *NodeList) Distinct() int {
+	if nl == nil {
+		return 0
+	}
+	return int(nl.count - nl.dups)
+}
+
+// Walk calls f on every leaf element in concatenation order (duplicates
+// included), stopping early when f returns false; it reports whether
+// the walk ran to completion. Unlike Flatten it allocates no output
+// slice, which is what lets large answers be consumed incrementally.
 func (nl *NodeList) Walk(f func(tree.NodeID) bool) bool {
 	it := nl.Iter()
 	for {
@@ -84,19 +379,11 @@ func (nl *NodeList) Walk(f func(tree.NodeID) bool) bool {
 }
 
 // IsSorted reports whether the concatenation order is non-decreasing —
-// i.e. already document order up to duplicates. Evaluation emits nodes
-// in document order for the overwhelming majority of queries (Flatten
-// exploits the same property); IsSorted is the O(n), zero-allocation
-// check that lets a cursor stream the rope directly.
+// i.e. already document order up to duplicates. The bit is maintained
+// at construction, so the check is O(1); it is what lets a cursor
+// stream the rope directly.
 func (nl *NodeList) IsSorted() bool {
-	prev := tree.Nil
-	return nl.Walk(func(v tree.NodeID) bool {
-		if prev != tree.Nil && v < prev {
-			return false
-		}
-		prev = v
-		return true
-	})
+	return nl == nil || nl.sorted
 }
 
 // Iter returns a resumable leaf iterator in concatenation order. The
@@ -109,71 +396,92 @@ func (nl *NodeList) Iter() *Iter {
 	return it
 }
 
+// IterAfter returns an iterator positioned at the first element > v,
+// by a metadata descent instead of a walk: a subtree whose last element
+// is <= v is skipped whole, so on a sorted rope (where "first element
+// > v" starts a suffix) the seek is O(height) = O(log n) and touches at
+// most one leaf. This is what makes resuming a paged cursor cheap: the
+// old linear re-walk of every already-delivered page is gone. On an
+// unsorted rope the elements > v are not a suffix, so it degrades to a
+// plain Iter from the start (callers filter by value as before).
+func (nl *NodeList) IterAfter(v tree.NodeID) *Iter {
+	if nl == nil || !nl.sorted {
+		return nl.Iter()
+	}
+	it := &Iter{}
+	n := nl
+	if n.last <= v {
+		return it // everything consumed
+	}
+	for n.l != nil {
+		if n.l.last > v {
+			it.stack = append(it.stack, n.r)
+			n = n.l
+		} else {
+			n = n.r
+		}
+	}
+	i := sort.Search(len(n.elems), func(i int) bool { return n.elems[i] > v })
+	it.leaf = n.elems[i:]
+	return it
+}
+
 // Iter streams a rope's leaves without materializing them. The stack
-// holds the unvisited right spines; its depth is bounded by the rope
-// height. Evaluation accumulates ropes left-to-right, so answers are
-// left-leaning and the first Next can push O(answer) right-child
-// pointers — transient and still cheaper than slice+JSON delivery, but
-// not O(log n); balancing the rope is a known open item (ROADMAP).
+// holds the unvisited right subtrees and leaf the rest of the current
+// chunk; balancing bounds the stack by the tree height, so iteration
+// state is O(log n) even for answers built by the evaluator's
+// left-accumulating concatenation order.
 type Iter struct {
 	stack []*NodeList
+	leaf  []tree.NodeID
 }
 
 // Next returns the next leaf value, with ok=false once exhausted.
 func (it *Iter) Next() (tree.NodeID, bool) {
-	for len(it.stack) > 0 {
-		n := it.stack[len(it.stack)-1]
-		it.stack = it.stack[:len(it.stack)-1]
-		for {
-			if n.l == nil && n.r == nil {
-				return n.v, true
-			}
-			// Interior node: descend left, deferring the right child.
-			if n.r != nil {
-				it.stack = append(it.stack, n.r)
-			}
-			if n.l == nil {
-				break
-			}
-			n = n.l
-		}
+	if len(it.leaf) > 0 {
+		v := it.leaf[0]
+		it.leaf = it.leaf[1:]
+		return v, true
 	}
-	return tree.Nil, false
+	if len(it.stack) == 0 {
+		return tree.Nil, false
+	}
+	n := it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+	for n.l != nil {
+		// Interior node: descend left, deferring the right child.
+		it.stack = append(it.stack, n.r)
+		n = n.l
+	}
+	it.leaf = n.elems[1:]
+	return n.elems[0], true
 }
 
 // Flatten returns the nodes of the rope in concatenation order, sorted
 // into document order and deduplicated (unions of overlapping result
-// lists can repeat a node).
+// lists can repeat a node). The cached count preallocates the output
+// exactly; a sorted duplicate-free rope (the common case) is one copy
+// with no sort and no dedup scan.
 func (nl *NodeList) Flatten() []tree.NodeID {
 	if nl == nil {
 		return nil
 	}
-	var out []tree.NodeID
+	out := make([]tree.NodeID, 0, nl.count)
 	var stack []*NodeList
 	stack = append(stack, nl)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if n.l == nil && n.r == nil {
-			out = append(out, n.v)
-			continue
-		}
-		// Push right first so left is emitted first.
-		if n.r != nil {
+		for n.l != nil {
 			stack = append(stack, n.r)
+			n = n.l
 		}
-		if n.l != nil {
-			stack = append(stack, n.l)
-		}
+		out = append(out, n.elems...)
 	}
-	sorted := true
-	for i := 1; i < len(out); i++ {
-		if out[i-1] > out[i] {
-			sorted = false
-			break
-		}
+	if nl.sorted && nl.dups == 0 {
+		return out
 	}
-	if !sorted {
+	if !nl.sorted {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	}
 	w := 0
@@ -203,59 +511,133 @@ type RSet struct {
 	more []rentry
 }
 
+// rentry is one Γ(q). Marked nodes are buffered in tail — an
+// arena-backed block this entry exclusively owns — and flushed into the
+// rope as one chunk leaf when the block fills or the list is read, so
+// the dominant operation (append one node) costs no rope node at all.
+// Ownership is what makes the in-place append safe: a rope handed out
+// by List (and thus possibly shared) is never touched again.
 type rentry struct {
-	q  State
-	nl *NodeList
+	q    State
+	nl   *NodeList
+	tail []tree.NodeID
 }
 
-// emptyRSet is the Γ of a # leaf: nothing satisfied, nothing selected.
-var emptyRSet = RSet{}
+// tailInit is the first tail block size; blocks double up to leafMax,
+// so entries that collect only a handful of nodes don't pin a full
+// chunk of arena storage.
+const tailInit = 8
 
-// List returns Γ(q), which is nil for states without collected nodes.
-func (r *RSet) List(q State) *NodeList {
+// lookup returns the entry for q, or nil.
+func (r *RSet) lookup(q State) *rentry {
 	if r.n > 0 && r.e0.q == q {
-		return r.e0.nl
+		return &r.e0
 	}
 	if r.n > 1 && r.e1.q == q {
-		return r.e1.nl
+		return &r.e1
 	}
-	for _, e := range r.more {
-		if e.q == q {
-			return e.nl
+	for i := range r.more {
+		if r.more[i].q == q {
+			return &r.more[i]
 		}
 	}
 	return nil
 }
 
-// add unions nl into Γ(q), assuming q will be in Sat; rope cells come
-// from the arena.
+// entry returns the entry for q, creating it on first sight.
+func (r *RSet) entry(q State) *rentry {
+	if e := r.lookup(q); e != nil {
+		return e
+	}
+	switch r.n {
+	case 0:
+		r.e0 = rentry{q: q}
+		r.n++
+		return &r.e0
+	case 1:
+		r.e1 = rentry{q: q}
+		r.n++
+		return &r.e1
+	default:
+		r.more = append(r.more, rentry{q: q})
+		r.n++
+		return &r.more[len(r.more)-1]
+	}
+}
+
+// flush moves the tail buffer into the rope as one leaf. The leaf takes
+// the block as-is (capacity clamped, no copy); the entry starts a fresh
+// block on the next append.
+func (e *rentry) flush(ar *cellArena) {
+	if len(e.tail) == 0 {
+		return
+	}
+	e.nl = rawConcat(e.nl, newLeaf(e.tail[:len(e.tail):len(e.tail)], ar), ar)
+	e.tail = nil
+}
+
+// List returns Γ(q), which is nil for states without collected nodes.
+func (r *RSet) List(q State) *NodeList { return r.list(q, nil) }
+
+func (r *RSet) list(q State, ar *cellArena) *NodeList {
+	e := r.lookup(q)
+	if e == nil {
+		return nil
+	}
+	e.flush(ar)
+	return e.nl
+}
+
+// push appends one node to the entry's private tail block: no rope
+// cell, no concat, just one slot. Blocks start at tailInit and double;
+// a full leafMax block is flushed as one ready-made chunk leaf.
+func (e *rentry) push(v tree.NodeID, ar *cellArena) {
+	if len(e.tail) == cap(e.tail) {
+		if cap(e.tail) >= leafMax {
+			e.flush(ar)
+			e.tail = allocIDs(ar, leafMax)
+		} else {
+			next := tailInit
+			if c := 2 * cap(e.tail); c > next {
+				next = c
+			}
+			grown := allocIDs(ar, next)
+			grown = append(grown, e.tail...)
+			e.tail = grown
+		}
+	}
+	e.tail = append(e.tail, v)
+}
+
+// addNode appends the single node v to Γ(q) — the opMark fast path.
+func (r *RSet) addNode(q State, v tree.NodeID, ar *cellArena) {
+	r.entry(q).push(v, ar)
+}
+
+// tailAbsorb bounds the leaves add copies into the tail instead of
+// concatenating: below it, a rope cell costs more than re-copying the
+// elements, and absorbing is what packs the few-node lists flowing up
+// the tree into full chunks (each element is re-copied only while its
+// group is still below the bound, so the total copying stays linear).
+const tailAbsorb = 16
+
+// add concatenates nl onto Γ(q), assuming q will be in Sat. Small
+// leaves are absorbed element-wise into the tail block; real ropes
+// flush the tail first (keeping concatenation order) and cost one
+// O(1) raw concat cell.
 func (r *RSet) add(q State, nl *NodeList, ar *cellArena) {
 	if nl == nil {
 		return
 	}
-	if r.n > 0 && r.e0.q == q {
-		r.e0.nl = ar.concat(r.e0.nl, nl)
-		return
-	}
-	if r.n > 1 && r.e1.q == q {
-		r.e1.nl = ar.concat(r.e1.nl, nl)
-		return
-	}
-	for i := range r.more {
-		if r.more[i].q == q {
-			r.more[i].nl = ar.concat(r.more[i].nl, nl)
-			return
+	e := r.entry(q)
+	if nl.l == nil && len(nl.elems) <= tailAbsorb {
+		for _, v := range nl.elems {
+			e.push(v, ar)
 		}
+		return
 	}
-	switch r.n {
-	case 0:
-		r.e0 = rentry{q, nl}
-	case 1:
-		r.e1 = rentry{q, nl}
-	default:
-		r.more = append(r.more, rentry{q, nl})
-	}
-	r.n++
+	e.flush(ar)
+	e.nl = rawConcat(e.nl, nl, ar)
 }
 
 // union merges another result set into r (used when combining the
@@ -264,12 +646,37 @@ func (r *RSet) add(q State, nl *NodeList, ar *cellArena) {
 func (r *RSet) union(o *RSet, ar *cellArena) {
 	r.Sat |= o.Sat
 	if o.n > 0 {
-		r.add(o.e0.q, o.e0.nl, ar)
+		r.merge(&o.e0, ar)
 	}
 	if o.n > 1 {
-		r.add(o.e1.q, o.e1.nl, ar)
+		r.merge(&o.e1, ar)
 	}
-	for _, e := range o.more {
-		r.add(e.q, e.nl, ar)
+	for i := range o.more {
+		r.merge(&o.more[i], ar)
+	}
+}
+
+// merge unions one source entry into r: the rope part concatenates
+// (small leaves absorbed, like add), and the source's still-buffered
+// tail appends element-wise — flushing it into an intermediate leaf
+// just to absorb it back out again would waste an arena block and a
+// metadata scan per region merge.
+func (r *RSet) merge(src *rentry, ar *cellArena) {
+	if src.nl == nil && len(src.tail) == 0 {
+		return
+	}
+	e := r.entry(src.q)
+	if src.nl != nil {
+		if src.nl.l == nil && len(src.nl.elems) <= tailAbsorb {
+			for _, v := range src.nl.elems {
+				e.push(v, ar)
+			}
+		} else {
+			e.flush(ar)
+			e.nl = rawConcat(e.nl, src.nl, ar)
+		}
+	}
+	for _, v := range src.tail {
+		e.push(v, ar)
 	}
 }

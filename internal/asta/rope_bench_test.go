@@ -1,0 +1,190 @@
+package asta
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// BenchmarkRopePaging measures the cost of resuming a paged answer —
+// seek to a mid-answer position, read one page — as the answer grows.
+// The ropes are built exactly the way evaluation builds them:
+// adversarially left-leaning, one Concat(rope, Single) per element.
+//
+//   - resume-seek is the chunked-rope path: IterAfter's metadata
+//     descent plus a 64-node page. Per-page cost must stay flat in the
+//     answer size (O(page + log n)).
+//   - resume-scan is the representation the chunked rope replaced: walk
+//     from the start and discard until the resume point, which is
+//     O(position) per page and made paging an n-node answer in p pages
+//     quadratic.
+//
+// The BENCH_rope.json trajectory (TestEmitRopeBenchJSON) records both
+// series plus the structural numbers (tree height, peak iterator
+// stack) that bound the resume cost and the streaming memory.
+func BenchmarkRopePaging(b *testing.B) {
+	const page = 64
+	for _, n := range []int{4096, 65536, 1048576} {
+		rope := buildAppendRope(n)
+		resumeAt := tree.NodeID(n * 3 / 4)
+		b.Run(fmt.Sprintf("resume-seek/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]tree.NodeID, 0, page)
+			for i := 0; i < b.N; i++ {
+				it := rope.IterAfter(resumeAt)
+				buf = buf[:0]
+				for len(buf) < page {
+					v, ok := it.Next()
+					if !ok {
+						break
+					}
+					buf = append(buf, v)
+				}
+				if len(buf) == 0 || buf[0] != resumeAt+1 {
+					b.Fatalf("bad page start: %v", buf[:1])
+				}
+			}
+			b.ReportMetric(float64(rope.height), "tree-height")
+		})
+		b.Run(fmt.Sprintf("resume-scan/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]tree.NodeID, 0, page)
+			for i := 0; i < b.N; i++ {
+				it := rope.Iter()
+				buf = buf[:0]
+				for len(buf) < page {
+					v, ok := it.Next()
+					if !ok {
+						break
+					}
+					if v <= resumeAt {
+						continue
+					}
+					buf = append(buf, v)
+				}
+				if len(buf) == 0 || buf[0] != resumeAt+1 {
+					b.Fatalf("bad page start: %v", buf[:1])
+				}
+			}
+		})
+	}
+}
+
+// buildAppendRope builds 0..n-1 by n left-leaning single appends.
+func buildAppendRope(n int) *NodeList {
+	var nl *NodeList
+	for i := 0; i < n; i++ {
+		nl = Concat(nl, Single(tree.NodeID(i)))
+	}
+	return nl
+}
+
+// peakIterStack fully iterates the rope and reports the deepest
+// iterator stack seen — the streaming-memory bound.
+func peakIterStack(nl *NodeList) int {
+	it := nl.Iter()
+	peak := 0
+	for {
+		if len(it.stack) > peak {
+			peak = len(it.stack)
+		}
+		if _, ok := it.Next(); !ok {
+			return peak
+		}
+	}
+}
+
+// ropeBenchJSON is one trajectory point of the BENCH_rope.json series.
+type ropeBenchJSON struct {
+	Benchmark string `json:"benchmark"`
+	Variant   string `json:"variant"`
+	AnswerN   int    `json:"answer_nodes"`
+	PageSize  int    `json:"page_size"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	BytesOp   int64  `json:"alloc_bytes_per_op"`
+	AllocsOp  int64  `json:"allocs_per_op"`
+	Height    int    `json:"tree_height"`
+	PeakStack int    `json:"peak_iter_stack"`
+	GoVersion string `json:"go_version"`
+}
+
+// TestEmitRopeBenchJSON runs the paging-resume comparison via
+// testing.Benchmark and writes the series as JSON. Skipped unless
+// BENCH_JSON names the output file:
+//
+//	BENCH_JSON=BENCH_rope.json go test -run TestEmitRopeBenchJSON ./internal/asta
+func TestEmitRopeBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<file> to emit the benchmark trajectory point")
+	}
+	const page = 64
+	var out []ropeBenchJSON
+	for _, n := range []int{4096, 65536, 1048576} {
+		rope := buildAppendRope(n)
+		resumeAt := tree.NodeID(n * 3 / 4)
+		variants := []struct {
+			name string
+			run  func()
+		}{
+			{"resume-seek", func() {
+				it := rope.IterAfter(resumeAt)
+				for i := 0; i < page; i++ {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+			}},
+			{"resume-scan", func() {
+				it := rope.Iter()
+				got := 0
+				for got < page {
+					v, ok := it.Next()
+					if !ok {
+						break
+					}
+					if v > resumeAt {
+						got++
+					}
+				}
+			}},
+		}
+		height, peak := int(rope.height), peakIterStack(rope)
+		for _, v := range variants {
+			run := v.run
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+			})
+			out = append(out, ropeBenchJSON{
+				Benchmark: "BenchmarkRopePaging",
+				Variant:   v.name,
+				AnswerN:   n,
+				PageSize:  page,
+				NsPerOp:   r.NsPerOp(),
+				BytesOp:   r.AllocedBytesPerOp(),
+				AllocsOp:  r.AllocsPerOp(),
+				Height:    height,
+				PeakStack: peak,
+				GoVersion: runtime.Version(),
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

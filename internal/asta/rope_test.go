@@ -1,0 +1,350 @@
+package asta
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/labels"
+	"repro/internal/tgen"
+	"repro/internal/tree"
+)
+
+// brute mirrors a rope as a plain slice: the oracle every metadata and
+// traversal property is checked against.
+func brute(nl *NodeList) []tree.NodeID {
+	var out []tree.NodeID
+	nl.Walk(func(v tree.NodeID) bool { out = append(out, v); return true })
+	return out
+}
+
+// checkInvariants walks the rope structurally and fails on any violated
+// construction invariant: AVL balance at interior nodes, non-empty
+// bounded leaves, and metadata (count, dups, first/last, sorted,
+// height) agreeing with a recomputation from the children.
+func checkInvariants(t *testing.T, nl *NodeList) {
+	t.Helper()
+	var rec func(n *NodeList) (count, dups int32, first, last tree.NodeID, sorted bool, height int32)
+	rec = func(n *NodeList) (int32, int32, tree.NodeID, tree.NodeID, bool, int32) {
+		if n.l == nil && n.r == nil {
+			if len(n.elems) == 0 || len(n.elems) > leafMax {
+				t.Fatalf("leaf size %d outside (0, %d]", len(n.elems), leafMax)
+			}
+			count, dups, sorted := int32(len(n.elems)), int32(0), true
+			for i := 1; i < len(n.elems); i++ {
+				if n.elems[i] < n.elems[i-1] {
+					sorted = false
+				}
+				if n.elems[i] == n.elems[i-1] {
+					dups++
+				}
+			}
+			return count, dups, n.elems[0], n.elems[len(n.elems)-1], sorted, 1
+		}
+		if n.l == nil || n.r == nil {
+			t.Fatal("interior node with a single child")
+		}
+		lc, ld, lf, ll, ls, lh := rec(n.l)
+		rc, rd, rf, rl, rs, rh := rec(n.r)
+		if lh-rh > 1 || rh-lh > 1 {
+			t.Fatalf("balance violated: sibling heights %d and %d", lh, rh)
+		}
+		count := lc + rc
+		dups := ld + rd
+		if ll == rf {
+			dups++
+		}
+		sorted := ls && rs && ll <= rf
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.count != count || n.dups != dups || n.first != lf || n.last != rl ||
+			n.sorted != sorted || n.height != h {
+			t.Fatalf("metadata mismatch: node{count=%d dups=%d first=%d last=%d sorted=%v height=%d}, recomputed {%d %d %d %d %v %d}",
+				n.count, n.dups, n.first, n.last, n.sorted, n.height,
+				count, dups, lf, rl, sorted, h)
+		}
+		return count, dups, lf, rl, sorted, h
+	}
+	if nl != nil {
+		rec(nl)
+	}
+}
+
+// log2ceil is a helper bound: smallest k with 2^k >= n.
+func log2ceil(n int) int {
+	k := 0
+	for (1 << k) < n {
+		k++
+	}
+	return k
+}
+
+// TestConcatBalanceAdversarial is the acceptance property: ropes built
+// by the worst construction order — n one-element left-leaning concats,
+// exactly the evaluator's accumulation pattern — stay height-balanced,
+// so the Iter stack is O(log n) instead of the former O(n).
+func TestConcatBalanceAdversarial(t *testing.T) {
+	const n = 100000
+	build := func(leftLeaning bool) *NodeList {
+		var nl *NodeList
+		for i := 0; i < n; i++ {
+			if leftLeaning {
+				nl = Concat(nl, Single(tree.NodeID(i)))
+			} else {
+				nl = Concat(Single(tree.NodeID(n-1-i)), nl)
+			}
+		}
+		return nl
+	}
+	for _, dir := range []string{"left-leaning", "right-leaning"} {
+		nl := build(dir == "left-leaning")
+		checkInvariants(t, nl)
+		if nl.Len() != n {
+			t.Fatalf("%s: Len = %d, want %d", dir, nl.Len(), n)
+		}
+		// AVL height bound: 1.44*log2(leafCount) + O(1); be generous but
+		// categorical — anything linear blows this immediately.
+		maxH := 2*log2ceil(n) + 4
+		if int(nl.height) > maxH {
+			t.Fatalf("%s: height %d exceeds O(log n) bound %d", dir, nl.height, maxH)
+		}
+		// Iterate fully, tracking the peak stack depth.
+		it := nl.Iter()
+		peak := 0
+		for i := 0; ; i++ {
+			if len(it.stack) > peak {
+				peak = len(it.stack)
+			}
+			v, ok := it.Next()
+			if !ok {
+				if i != n {
+					t.Fatalf("%s: iterated %d elements, want %d", dir, i, n)
+				}
+				break
+			}
+			if v != tree.NodeID(i) {
+				t.Fatalf("%s: element %d = %d", dir, i, v)
+			}
+		}
+		if peak > int(nl.height) {
+			t.Fatalf("%s: Iter stack peaked at %d, above tree height %d", dir, peak, nl.height)
+		}
+		if !nl.IsSorted() {
+			t.Fatalf("%s: ascending rope must report sorted", dir)
+		}
+		if nl.Distinct() != n {
+			t.Fatalf("%s: Distinct = %d, want %d", dir, nl.Distinct(), n)
+		}
+	}
+}
+
+// TestRopeMetadataOracle drives random concat trees — mixed singles,
+// runs, duplicates, unsorted segments, shared subtrees — and checks
+// every cached metadata field, Walk order, Flatten, Len and Distinct
+// against the brute-force slice oracle.
+func TestRopeMetadataOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for round := 0; round < 300; round++ {
+		// Random forest of small ropes, then random concatenation order.
+		var parts []*NodeList
+		var oracle [][]tree.NodeID
+		for i := 0; i < 2+rng.Intn(12); i++ {
+			ln := 1 + rng.Intn(9)
+			elems := make([]tree.NodeID, ln)
+			base := rng.Intn(1000)
+			for j := range elems {
+				switch rng.Intn(3) {
+				case 0: // ascending run
+					elems[j] = tree.NodeID(base + j)
+				case 1: // duplicate-heavy
+					elems[j] = tree.NodeID(base)
+				default: // noise
+					elems[j] = tree.NodeID(rng.Intn(2000))
+				}
+			}
+			var p *NodeList
+			for _, v := range elems {
+				p = Concat(p, Single(v))
+			}
+			parts = append(parts, p)
+			oracle = append(oracle, elems)
+		}
+		for len(parts) > 1 {
+			i := rng.Intn(len(parts) - 1)
+			parts[i] = Concat(parts[i], parts[i+1])
+			oracle[i] = append(oracle[i], oracle[i+1]...)
+			parts = append(parts[:i+1], parts[i+2:]...)
+			oracle = append(oracle[:i+1], oracle[i+2:]...)
+		}
+		nl, want := parts[0], oracle[0]
+		checkInvariants(t, nl)
+
+		got := brute(nl)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: walked %d elements, want %d", round, len(got), len(want))
+		}
+		sorted, dups := true, 0
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: element %d = %d, want %d", round, i, got[i], want[i])
+			}
+			if i > 0 && want[i] < want[i-1] {
+				sorted = false
+			}
+			if i > 0 && want[i] == want[i-1] {
+				dups++
+			}
+		}
+		if nl.IsSorted() != sorted {
+			t.Fatalf("round %d: IsSorted = %v, oracle %v", round, nl.IsSorted(), sorted)
+		}
+		if nl.Len() != len(want) {
+			t.Fatalf("round %d: Len = %d, want %d", round, nl.Len(), len(want))
+		}
+		if nl.Distinct() != len(want)-dups {
+			t.Fatalf("round %d: Distinct = %d, want %d", round, nl.Distinct(), len(want)-dups)
+		}
+
+		// Flatten: sorted, duplicate-free, exactly the distinct values.
+		flat := nl.Flatten()
+		ref := append([]tree.NodeID(nil), want...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		w := 0
+		for i, v := range ref {
+			if i == 0 || v != ref[w-1] {
+				ref[w] = v
+				w++
+			}
+		}
+		ref = ref[:w]
+		if len(flat) != len(ref) {
+			t.Fatalf("round %d: Flatten %d values, want %d", round, len(flat), len(ref))
+		}
+		for i := range ref {
+			if flat[i] != ref[i] {
+				t.Fatalf("round %d: Flatten[%d] = %d, want %d", round, i, flat[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestIterAfterAgainstOracle checks the logarithmic seek on sorted
+// ropes: for every probe value the suffix equals the oracle suffix, the
+// descent's stack stays within the tree height, and every stacked
+// subtree still contains wanted elements (nothing skipped is ever
+// touched, nothing wanted is ever dropped). Unsorted ropes must degrade
+// to a full iterator.
+func TestIterAfterAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Sorted rope with duplicate runs, built adversarially left-leaning.
+	var nl *NodeList
+	var want []tree.NodeID
+	v := tree.NodeID(0)
+	for len(want) < 50000 {
+		run := 1 + rng.Intn(3)
+		for i := 0; i < run; i++ {
+			nl = Concat(nl, Single(v))
+			want = append(want, v)
+		}
+		v += tree.NodeID(1 + rng.Intn(4))
+	}
+	checkInvariants(t, nl)
+	probes := []tree.NodeID{tree.Nil, 0, 1, want[len(want)/2], want[len(want)-1], want[len(want)-1] + 10}
+	for i := 0; i < 100; i++ {
+		probes = append(probes, want[rng.Intn(len(want))]+tree.NodeID(rng.Intn(3)-1))
+	}
+	for _, p := range probes {
+		it := nl.IterAfter(p)
+		if len(it.stack) > int(nl.height) {
+			t.Fatalf("probe %d: seek stack %d exceeds height %d", p, len(it.stack), nl.height)
+		}
+		// Structural no-skipped-leaves property: everything still on the
+		// stack (or in the current leaf) contains at least one wanted
+		// element, i.e. the descent pruned exactly the consumed prefix.
+		for _, sub := range it.stack {
+			if sub.last <= p {
+				t.Fatalf("probe %d: stacked subtree entirely <= probe (last=%d)", p, sub.last)
+			}
+		}
+		i := sort.Search(len(want), func(i int) bool { return want[i] > p })
+		for ; ; i++ {
+			v, ok := it.Next()
+			if i == len(want) {
+				if ok {
+					t.Fatalf("probe %d: iterator yielded %d past the oracle end", p, v)
+				}
+				break
+			}
+			if !ok || v != want[i] {
+				t.Fatalf("probe %d: suffix element %d = (%d,%v), want %d", p, i, v, ok, want[i])
+			}
+		}
+	}
+
+	// Unsorted rope: IterAfter must fall back to the full sequence.
+	uns := Concat(Concat(Single(9), Single(2)), Single(5))
+	it := uns.IterAfter(4)
+	var got []tree.NodeID
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 3 || got[0] != 9 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("unsorted IterAfter = %v, want full sequence [9 2 5]", got)
+	}
+}
+
+// TestEvalLazyRopeIsBalanced pins the exposure contract: whatever raw
+// accumulation shape evaluation produced internally, the rope handed
+// out on Result.List satisfies the balance and metadata invariants, so
+// every consumer iterates with an O(log n) stack. The //a automaton is
+// built by hand (the compiler lives upstream of this package) and run
+// over a deep random document whose every node matches — the worst
+// left-accumulation case.
+func TestEvalLazyRopeIsBalanced(t *testing.T) {
+	d := tgen.Random(5, tgen.Config{Labels: []string{"a", "b"}, MaxNodes: 6000})
+	ix := index.New(d)
+	aID, ok := d.Names().Lookup("a")
+	if !ok {
+		t.Fatal("no a label")
+	}
+	// //a: qI reads #doc and launches the descendant search qA, which
+	// selects on label a and recurses through both binary children.
+	const qI, qA = State(0), State(1)
+	aut, err := (&ASTA{
+		NumStates: 2,
+		Top:       StateSet(0).With(qI),
+		Trans: []Transition{
+			{From: qI, Guard: labels.Of(tree.LabelDoc), Phi: Down1(qA)},
+			{From: qA, Guard: labels.Of(aID), Phi: True(), Selecting: true},
+			{From: qA, Guard: labels.Any, Phi: Or(Down1(qA), Down2(qA))},
+		},
+	}).Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Options{{}, {Jump: true}, {Memo: true}, Opt()} {
+		res := aut.EvalLazy(d, ix, mode)
+		if res.List == nil {
+			t.Fatal("expected a non-empty answer")
+		}
+		checkInvariants(t, res.List)
+		n := res.List.Len()
+		if n < 100 {
+			t.Fatalf("answer too small (%d) to be interesting", n)
+		}
+		if maxH := 2*log2ceil(n+2) + 4; int(res.List.height) > maxH {
+			t.Errorf("mode %+v: exposed rope height %d above bound %d for %d elements", mode, res.List.height, maxH, n)
+		}
+		if !res.List.IsSorted() {
+			t.Errorf("mode %+v: //a answer must be in document order", mode)
+		}
+	}
+}

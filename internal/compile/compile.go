@@ -13,6 +13,7 @@
 package compile
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/asta"
@@ -21,6 +22,25 @@ import (
 	"repro/internal/xpath"
 )
 
+// ErrUnsupported marks queries outside the automata fragment — the
+// compile failures an Auto strategy may legitimately route to the
+// step-wise engine (backward axes, text functions, §6's black-box
+// handling). Errors that do not match it are real failures and must
+// surface. Match with errors.Is.
+var ErrUnsupported = errors.New("query outside the automata fragment")
+
+// unsupportedf builds a fragment-violation error: errors.Is matches it
+// against ErrUnsupported without altering the message text.
+func unsupportedf(format string, args ...any) error {
+	return &unsupportedError{msg: fmt.Sprintf(format, args...)}
+}
+
+type unsupportedError struct{ msg string }
+
+func (e *unsupportedError) Error() string { return e.msg }
+
+func (e *unsupportedError) Is(target error) bool { return target == ErrUnsupported }
+
 // ToASTA compiles a parsed query against a label table (normally the
 // document's, so that guards refer to its label ids). Names absent from
 // the table yield never-firing guards rather than errors: the query is
@@ -28,10 +48,10 @@ import (
 func ToASTA(p *xpath.Path, names *tree.LabelTable) (*asta.ASTA, error) {
 	c := &compiler{names: names}
 	if !p.Absolute {
-		return nil, fmt.Errorf("compile: top-level query must be absolute, got %q", p.String())
+		return nil, unsupportedf("compile: top-level query must be absolute, got %q", p.String())
 	}
 	if len(p.Steps) == 0 {
-		return nil, fmt.Errorf("compile: empty path")
+		return nil, unsupportedf("compile: empty path")
 	}
 	// The synthetic initial state reads the #doc root and launches the
 	// first step at its children.
@@ -152,7 +172,7 @@ func (c *compiler) anchor(steps []xpath.Step, selecting bool) (*asta.Formula, er
 	st := steps[0]
 	if st.Axis == xpath.Self {
 		if st.Test.Kind != xpath.TestNode {
-			return nil, fmt.Errorf("compile: self axis supports only node(), got %s", st.Test)
+			return nil, unsupportedf("compile: self axis supports only node(), got %s", st.Test)
 		}
 		// "." — the context itself; predicates and the rest of the
 		// path apply here directly.
@@ -186,9 +206,9 @@ func (c *compiler) anchor(steps []xpath.Step, selecting bool) (*asta.Formula, er
 	case xpath.Parent, xpath.Ancestor, xpath.AncestorOrSelf:
 		// Up-moves are outside the forward fragment's theory (§6); the
 		// engine evaluates such queries with the step-wise fallback.
-		return nil, fmt.Errorf("compile: backward axis %v not supported by the automata pipeline", st.Axis)
+		return nil, unsupportedf("compile: backward axis %v not supported by the automata pipeline", st.Axis)
 	}
-	return nil, fmt.Errorf("compile: unsupported axis %v", st.Axis)
+	return nil, unsupportedf("compile: unsupported axis %v", st.Axis)
 }
 
 // conjoinPreds conjoins the step's predicate formulas with the
@@ -236,15 +256,15 @@ func (c *compiler) pred(p xpath.Pred) (*asta.Formula, error) {
 		return asta.Not(inner), nil
 	case *xpath.PathPred:
 		if q.Path.Absolute {
-			return nil, fmt.Errorf("compile: absolute paths in predicates are not supported: %s", q.Path)
+			return nil, unsupportedf("compile: absolute paths in predicates are not supported: %s", q.Path)
 		}
 		return c.anchor(q.Path.Steps, false)
 	case *xpath.Contains:
 		// Text predicates are black-box functions to the automaton
 		// (§6); the engine evaluates such queries step-wise.
-		return nil, fmt.Errorf("compile: contains() not supported by the automata pipeline")
+		return nil, unsupportedf("compile: contains() not supported by the automata pipeline")
 	}
-	return nil, fmt.Errorf("compile: unknown predicate %T", p)
+	return nil, unsupportedf("compile: unknown predicate %T", p)
 }
 
 // Compile parses and compiles in one call.

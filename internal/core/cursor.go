@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -46,8 +47,43 @@ type Cursor struct {
 }
 
 func newSliceCursor(nodes []tree.NodeID, s Strategy, visited, memo int) *Cursor {
+	nodes = ensureSortedDedup(nodes)
 	return &Cursor{strategy: s, visited: visited, memoEntries: memo,
 		ready: true, nodes: nodes, total: len(nodes)}
+}
+
+// ensureSortedDedup enforces the invariant every slice-backed cursor
+// depends on — strictly increasing preorder — rather than trusting the
+// producing engine: SeekPast binary-searches and resumed pages silently
+// skip or repeat nodes if a slice ever arrives unsorted or with
+// duplicates. The engines do emit sorted duplicate-free answers, so the
+// common case is one O(n) verification scan; only a violation pays the
+// sort/compact.
+func ensureSortedDedup(nodes []tree.NodeID) []tree.NodeID {
+	sorted, unique := true, true
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] < nodes[i-1] {
+			sorted = false
+			break
+		}
+		if nodes[i] == nodes[i-1] {
+			unique = false
+		}
+	}
+	if sorted && unique {
+		return nodes
+	}
+	if !sorted {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	}
+	w := 0
+	for i, v := range nodes {
+		if i == 0 || v != nodes[w-1] {
+			nodes[w] = v
+			w++
+		}
+	}
+	return nodes[:w]
 }
 
 func newRopeCursor(r *asta.NodeList, s Strategy, visited, memo int) *Cursor {
@@ -57,16 +93,17 @@ func newRopeCursor(r *asta.NodeList, s Strategy, visited, memo int) *Cursor {
 
 // ensure decides the streaming representation on first read: a rope in
 // document order streams in place (adjacent-duplicate skipping doubles
-// as dedup), anything else flattens once. Deferring the O(n) IsSorted
-// probe to here keeps the materializing path (QueryWith) at exactly
-// one rope traversal — the Flatten it always paid.
+// as dedup), anything else flattens once. IsSorted is an O(1) metadata
+// read on the chunked rope, so the decision costs nothing either way.
 func (c *Cursor) ensure() {
 	if c.ready {
 		return
 	}
 	c.ready = true
 	if c.rope.IsSorted() {
-		c.it = c.rope.Iter()
+		// Rope streaming: the iterator itself is created lazily by the
+		// first read (or directly positioned by SeekPast), so a resumed
+		// cursor never builds a from-the-start iterator it will discard.
 		return
 	}
 	c.nodes = c.rope.Flatten()
@@ -84,8 +121,10 @@ func (c *Cursor) Visited() int { return c.visited }
 func (c *Cursor) MemoEntries() int { return c.memoEntries }
 
 // Count returns the full answer cardinality, independent of the read
-// position. For rope-backed cursors the first call walks the rope once
-// (no allocation) and the result is cached.
+// position. Rope-backed cursors read it from the rope's cached
+// metadata in O(1) (on a sorted rope the adjacent-distinct count is
+// the duplicate-free cardinality); slice-backed cursors know their
+// length.
 func (c *Cursor) Count() int {
 	if c.total >= 0 {
 		return c.total
@@ -94,25 +133,21 @@ func (c *Cursor) Count() int {
 	if c.total >= 0 {
 		return c.total
 	}
-	n, last, started := 0, tree.Nil, false
-	c.rope.Walk(func(v tree.NodeID) bool {
-		if !started || v != last {
-			n++
-		}
-		last, started = v, true
-		return true
-	})
-	c.total = n
-	return n
+	c.total = c.rope.Distinct()
+	return c.total
 }
 
 // SeekPast positions the cursor just after node v in preorder, so the
 // next read returns the first answer node > v. It must be called before
 // the first Next/NextBatch; it is how a continuation token resumes a
-// paged answer.
+// paged answer. On a rope-backed cursor the seek is a logarithmic
+// metadata descent that never visits the skipped leaves, so resuming
+// page p of an n-node answer costs O(log n), not O(p·pagesize); the
+// slice fallback binary-searches.
 func (c *Cursor) SeekPast(v tree.NodeID) {
 	c.ensure()
-	if c.it != nil {
+	if c.rope != nil {
+		c.it = c.rope.IterAfter(v)
 		c.last, c.started = v, true
 		return
 	}
@@ -123,7 +158,10 @@ func (c *Cursor) SeekPast(v tree.NodeID) {
 // answer is exhausted.
 func (c *Cursor) Next() (tree.NodeID, bool) {
 	c.ensure()
-	if c.it != nil {
+	if c.rope != nil {
+		if c.it == nil {
+			c.it = c.rope.Iter()
+		}
 		for {
 			v, ok := c.it.Next()
 			if !ok {
@@ -239,21 +277,27 @@ func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy) (*Cursor, e
 	return newRopeCursor(res.List, s, res.Stats.Visited, res.Stats.MemoEntries), nil
 }
 
-// autoCursor mirrors the Auto strategy choice of QueryWith: hybrid when
-// a chain label is rare, the optimized ASTA evaluator otherwise, and
-// the step-wise engine for features outside the automata fragment.
+// autoCursor implements the Auto strategy (QueryWith's Auto is this
+// same code path): hybrid when a chain label is rare, the optimized
+// ASTA evaluator otherwise, and the step-wise engine only for queries
+// the automata fragment cannot express (compile.ErrUnsupported —
+// backward axes, text functions, §6's black-box handling). Any other
+// failure surfaces instead of silently degrading to a different
+// engine.
 func (e *Engine) autoCursor(query string, p *xpath.Path) (*Cursor, error) {
 	if min, max, ok := e.chainCounts(p); ok && max > 0 &&
 		float64(min) <= hybridCountFraction*float64(max) {
-		res, err := hybrid.Eval(e.doc, e.ix, p)
-		if err == nil {
+		if res, err := hybrid.Eval(e.doc, e.ix, p); err == nil {
 			return newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0), nil
 		}
 	}
 	c, err := e.astaCursor(query, p, Optimized)
-	if err != nil {
-		res := stepwise.Eval(e.doc, p, stepwise.Default())
-		return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
+	if err == nil {
+		return c, nil
 	}
-	return c, nil
+	if !errors.Is(err, compile.ErrUnsupported) {
+		return nil, err
+	}
+	res := stepwise.Eval(e.doc, p, stepwise.Default())
+	return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/base64"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -20,7 +21,9 @@ import (
 // paged answers from silently mixing two trees (or two partitions). No
 // server-side state is kept per cursor: resuming re-evaluates (hitting
 // the shard's compiled-automaton LRU) and seeks past the last delivered
-// node.
+// node — an O(log n) descent of the chunked result rope, so a resumed
+// page costs O(page + log n) on top of the cached evaluation rather
+// than a re-walk of every page already served.
 
 const cursorVersion = "c2"
 
@@ -49,11 +52,18 @@ func decodeCursor(tok string) (shard int, doc string, gen uint64, last tree.Node
 	}
 	gen, gerr := strconv.ParseUint(parts[3], 10, 64)
 	if gerr != nil {
-		return 0, "", 0, 0, fmt.Errorf("bad cursor: %v", gerr)
+		return 0, "", 0, 0, fmt.Errorf("bad cursor: malformed generation")
 	}
-	n, nerr := strconv.ParseInt(parts[4], 10, 32)
-	if nerr != nil {
-		return 0, "", 0, 0, fmt.Errorf("bad cursor: %v", nerr)
+	// The last-node field is validated explicitly rather than trusting
+	// the ParseInt bit size: a negative id is not out-of-range for a
+	// 32-bit parse (it used to be accepted and silently seek nowhere),
+	// and an overflowing one used to surface a strconv range error.
+	// Every value outside a NodeID's domain [0, MaxInt32] is rejected
+	// uniformly as a malformed token (HTTP 400) — only shard relocation
+	// and generation staleness are cursor-expiry conditions (410).
+	n, nerr := strconv.ParseInt(parts[4], 10, 64)
+	if nerr != nil || n < 0 || n > math.MaxInt32 {
+		return 0, "", 0, 0, fmt.Errorf("bad cursor: node out of range")
 	}
 	return shard, parts[2], gen, tree.NodeID(n), nil
 }

@@ -25,8 +25,8 @@ type StreamHeader struct {
 	Doc      string `json:"doc"`
 	Query    string `json:"query"`
 	Strategy string `json:"strategy"`
-	// Count is the full answer cardinality (counted before streaming;
-	// the count walk allocates nothing).
+	// Count is the full answer cardinality (an O(1) metadata read on
+	// rope-backed answers).
 	Count   int `json:"count"`
 	Visited int `json:"visited"`
 }
