@@ -1,0 +1,78 @@
+// BenchmarkEvalSteadyState pins the win of the pooled evaluation
+// memory model (PR 5): the full paper-query matrix (Q01-Q15) over
+// three XMark sizes, evaluated with the optimized ASTA engine under
+// two context regimes —
+//
+//	cold: a fresh asta.Context per evaluation, the pre-pool behavior
+//	      (every run rebuilds interning tables, memo maps, arenas,
+//	      cursors from scratch);
+//	warm: one Context reused across evaluations, the serving layers'
+//	      steady state (memo world persists, arenas rewind in place).
+//
+// Run with -benchmem: the warm rows are the contract — near-zero
+// allocs/op and ≥30% less ns/op than cold on the memo-dominated
+// queries. BENCH_eval.json is seeded from this benchmark and the CI
+// bench smoke gates the warm-path allocation ceiling.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/asta"
+	"repro/internal/compile"
+	"repro/internal/exp"
+	"repro/internal/xmark"
+)
+
+// steadyScales are the three XMark sizes of the matrix (~22k, ~110k,
+// ~220k nodes).
+var steadyScales = []float64{0.01, 0.05, 0.1}
+
+var (
+	steadyMu        sync.Mutex
+	steadyWorkloads = map[float64]*exp.Workload{}
+)
+
+func steadyWorkload(b *testing.B, scale float64) *exp.Workload {
+	b.Helper()
+	steadyMu.Lock()
+	defer steadyMu.Unlock()
+	w, ok := steadyWorkloads[scale]
+	if !ok {
+		w = exp.NewWorkload(scale, 1)
+		steadyWorkloads[scale] = w
+	}
+	return w
+}
+
+func BenchmarkEvalSteadyState(b *testing.B) {
+	for _, scale := range steadyScales {
+		w := steadyWorkload(b, scale)
+		for _, q := range xmark.Queries() {
+			aut, err := compile.Compile(q.XPath, w.Doc.Names())
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := fmt.Sprintf("s=%g/%s", scale, q.ID)
+			b.Run(name+"/cold", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = aut.EvalLazy(w.Doc, w.Index, asta.Opt())
+				}
+			})
+			b.Run(name+"/warm", func(b *testing.B) {
+				ctx := asta.NewContext()
+				// Bind and size the arenas outside the measurement so
+				// even -benchtime 1x sees the steady state.
+				_ = aut.EvalLazyCtx(ctx, w.Doc, w.Index, asta.Opt())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = aut.EvalLazyCtx(ctx, w.Doc, w.Index, asta.Opt())
+				}
+			})
+		}
+	}
+}

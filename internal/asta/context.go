@@ -1,0 +1,76 @@
+package asta
+
+// Context is the reusable memory behind an evaluation: every piece of
+// scratch EvalLazy used to rebuild per call — interned-set tables,
+// transition rows and their recipes, jump analyses, pure label sets,
+// the result arena, index cursors, append buffers — owned by one value
+// that repeated evaluations recycle. The serving layers run the same
+// compiled automaton against the same hot document thousands of times;
+// with a warm Context those runs are allocation-free and map-free, and
+// the memo world (a pure function of the automaton/document binding)
+// is derived once instead of per call.
+//
+// A Context is bound lazily by EvalLazyCtx: a call with the same
+// (automaton, document, index, options) as the previous one is warm
+// and reuses everything; any mismatch rebinds from scratch in place.
+// A Context must not be used concurrently, and a rope returned by
+// EvalLazyCtx is valid only until the Context's next evaluation or
+// Reset — release the Context (or copy the answer) first.
+type Context struct {
+	e evaluator
+}
+
+// NewContext returns an empty, unbound Context.
+func NewContext() *Context { return &Context{} }
+
+// Reset unbinds the Context and clears all retained evaluation state
+// in place, keeping the backing storage for reuse. After Reset the
+// Context behaves like a fresh one: the next EvalLazyCtx call rebinds
+// and rebuilds the memo world. Use it when handing a pooled Context
+// across trust boundaries (e.g. a document generation change) where
+// stale memo state must be provably gone.
+func (c *Context) Reset() {
+	e := &c.e
+	e.bound = false
+	e.a, e.d, e.ix = nil, nil, nil
+	e.opt = Options{}
+	e.sets = e.sets[:0]
+	e.rows = e.rows[:0]
+	e.jumps = e.jumps[:0]
+	e.jumpsDone = e.jumpsDone[:0]
+	e.setTab.clear()
+	e.recTab.clear()
+	e.r2Tab.clear()
+	e.tis.reset()
+	e.i32s.reset()
+	e.opsA.reset()
+	e.recipes = e.recipes[:0]
+	e.jumpCache = nil
+	e.pure = pureSets{}
+	e.cur = nil
+	e.arena.reset()
+	e.stats = Stats{}
+}
+
+// MemBytes estimates the Context's resident scratch bytes: the arenas
+// and tables it would keep alive if pooled. Pools use it to decide
+// whether a context that served a huge answer is worth retaining, and
+// the serving layer surfaces the pooled total in /stats.
+func (c *Context) MemBytes() int64 {
+	e := &c.e
+	b := e.arena.memBytes() + e.i32s.memBytes(4) + e.opsA.memBytes(12) + e.tis.memBytes()
+	b += int64(cap(e.sets))*8 + int64(cap(e.rows))*24
+	b += int64(cap(e.jumps))*24 + int64(cap(e.jumpsDone))
+	b += e.setTab.memBytes(12) + e.recTab.memBytes(28) + e.r2Tab.memBytes(28)
+	b += int64(cap(e.recipes)) * 32
+	b += int64(cap(e.transBuf))*4 + int64(cap(e.opBuf))*12 + int64(cap(e.srcBuf))*8
+	if e.cur != nil {
+		b += e.cur.MemBytes()
+	}
+	return b
+}
+
+// MemoEntries reports the number of live memoized transition rows —
+// how much of the memo world the binding has derived so far. Warm
+// evaluations keep this stable; it is exposed for tests and stats.
+func (c *Context) MemoEntries() int { return int(c.e.tis.n) }

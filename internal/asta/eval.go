@@ -24,8 +24,10 @@ type Stats struct {
 	// Visited counts the nodes the run function touched (Figure 3,
 	// lines (2)/(3)).
 	Visited int
-	// MemoEntries counts distinct memoized configurations (Figure 3,
-	// line (4): nodes that paid the |Q| factor).
+	// MemoEntries counts distinct memoized configurations created by
+	// this evaluation (Figure 3, line (4): nodes that paid the |Q|
+	// factor). A warm Context re-evaluation reports ~0 here — the
+	// entries already exist — with the hits showing up in MemoHits.
 	MemoEntries int
 	// MemoHits counts constant-time lookups served by the tables.
 	MemoHits int
@@ -45,7 +47,8 @@ type Result struct {
 	// with duplicates. EvalLazy sets it for non-empty answers (nil
 	// means empty); Eval clears it after flattening so materialized
 	// results do not pin the evaluation arena. The rope shares that
-	// arena and stays valid for as long as the Result references it.
+	// arena: for EvalLazy it stays valid as long as the Result, for
+	// EvalLazyCtx only until the Context's next evaluation or Reset.
 	List *NodeList
 	// Stats reports effort counters.
 	Stats Stats
@@ -87,8 +90,15 @@ func (r *Result) Walk(f func(tree.NodeID) bool) {
 // materializes the answer. The index may be nil when Options.Jump is
 // false.
 func (a *ASTA) Eval(d *tree.Document, ix *index.Index, opt Options) Result {
-	res := a.EvalLazy(d, ix, opt)
-	res.Selected = res.List.Flatten()
+	return a.EvalCtx(NewContext(), d, ix, opt)
+}
+
+// EvalCtx is Eval against a reusable Context: the materialized answer
+// does not reference the Context, so the Context may be reused (or
+// pooled) immediately after the call returns.
+func (a *ASTA) EvalCtx(c *Context, d *tree.Document, ix *index.Index, opt Options) Result {
+	res := a.EvalLazyCtx(c, d, ix, opt)
+	res.Selected = res.List.flattenInto(&c.e.walkStack)
 	// Drop the rope: materialized callers read Selected, and keeping
 	// the rope alive would pin every arena chunk it reaches.
 	res.List = nil
@@ -98,16 +108,29 @@ func (a *ASTA) Eval(d *tree.Document, ix *index.Index, opt Options) Result {
 // EvalLazy is Eval without the final Flatten: the answer is returned as
 // the rope Result.List, to be consumed by Walk or a cursor. This is the
 // entry point of the streaming path — a ≥100k-node answer never exists
-// as one slice.
+// as one slice. Each call evaluates in a fresh Context, so the rope
+// stays valid indefinitely; repeated evaluations of the same automaton
+// should use EvalLazyCtx with a reused Context instead.
 func (a *ASTA) EvalLazy(d *tree.Document, ix *index.Index, opt Options) Result {
-	e := &evaluator{a: a, d: d, ix: ix, opt: opt}
-	if opt.Memo {
-		e.setIDs = make(map[StateSet]int32, 16)
-		e.numLabels = d.Names().Size()
-	}
-	if opt.Jump {
-		e.initPureSets()
-		e.cur = ix.NewCursors()
+	return a.EvalLazyCtx(NewContext(), d, ix, opt)
+}
+
+// EvalLazyCtx is EvalLazy against a reusable Context. The first call
+// binds the Context to (automaton, document, options) and builds the
+// memo world; later calls with the same binding reuse it — the
+// interned-set table, transition rows, recipes and jump analyses
+// persist (they are pure functions of the binding), while the result
+// arena and index cursors reset in place. A warm call is therefore
+// allocation-free in steady state and skips all memo derivation.
+//
+// The returned rope (Result.List) lives in the Context's arena: it is
+// valid only until the next EvalLazyCtx/Reset on the same Context.
+func (a *ASTA) EvalLazyCtx(c *Context, d *tree.Document, ix *index.Index, opt Options) Result {
+	e := &c.e
+	if !e.bound || e.a != a || e.d != d || e.ix != ix || e.opt != opt {
+		e.rebind(a, d, ix, opt)
+	} else {
+		e.resetEval()
 	}
 	var g RSet
 	e.evalChild(d.Root(), a.Top, e.internSet(a.Top), &g)
@@ -118,31 +141,34 @@ func (a *ASTA) EvalLazy(d *tree.Document, ix *index.Index, opt Options) Result {
 	}
 	res.Accepted = true
 	var all *NodeList
-	acc.Each(func(q State) {
-		all = rawConcat(all, g.list(q, &e.arena), &e.arena)
-	})
+	q := State(0)
+	for rest := acc; rest != 0; rest >>= 1 {
+		if rest&1 != 0 {
+			all = rawConcat(all, g.list(q, &e.arena), &e.arena)
+		}
+		q++
+	}
 	// Accumulation concatenated in O(1) without balancing; rebuild once
 	// into the balanced chunked form so every rope that leaves the
 	// evaluator iterates and seeks in O(log n).
-	res.List = rebalance(all, &e.arena)
+	res.List = rebalance(all, &e.arena, &e.walkStack)
 	return res
 }
 
 // transInfo is the memoized outcome of Line 3 of Algorithm 4.1: the
-// active transitions for (r, label), the child state sets r1, r2 (their
-// interned ids when memoizing), and the eval_trans recipes keyed by the
-// children's satisfied sets.
+// active transitions for (r, label) and the child state sets r1, r2
+// (their interned ids when memoizing). In memo mode rows live in the
+// Context's tiStore under dense ids; the eval_trans recipes and r2
+// restrictions are keyed by that id in the Context-level open tables,
+// so a transInfo itself carries no per-row maps.
 type transInfo struct {
 	trans      []int32
 	r1, r2     StateSet
 	r1ID, r2ID int32
-	// recipes: (sat1, sat2) → recipe; only allocated in memo mode.
-	recipes map[satPair]*recipe
-	// r2memo: sat1 → restricted r2 (information propagation).
-	r2memo map[StateSet]r2entry
+	// id is the dense tiStore id (-1 for transient rows in non-memo
+	// modes, which also disables the recipe/r2 tables).
+	id int32
 }
-
-type satPair struct{ s1, s2 StateSet }
 
 type r2entry struct {
 	r2   StateSet
@@ -172,20 +198,41 @@ type recipe struct {
 	ops []op
 }
 
+// evaluator is the complete evaluation state. It lives inside a Context
+// and splits into two lifetimes: memo state (interned sets, transition
+// rows, recipes, jump analyses, pure sets — pure functions of the
+// bound automaton/document) survives across warm evaluations, while
+// per-evaluation scratch (result arena, index cursors, stats) resets
+// in place at the start of every run.
 type evaluator struct {
 	a   *ASTA
 	d   *tree.Document
 	ix  *index.Index
 	opt Options
+	// bound is set once the evaluator has been initialized for the
+	// (a, d, ix, opt) above; a mismatch on the next run triggers a full
+	// rebind instead of a warm reset.
+	bound bool
 
-	// Memo structures: state sets are interned to dense ids; per-set
-	// rows are indexed by label for constant-time transition lookup.
-	setIDs    map[StateSet]int32
+	// Memo structures: state sets are interned to dense ids via an
+	// open-addressed table; per-set rows are label-indexed slices of
+	// transInfo ids for constant-time transition lookup.
+	setTab    openTable[StateSet, int32]
 	sets      []StateSet
-	rows      [][]*transInfo
+	rows      [][]int32
 	jumps     []jumpInfo
 	jumpsDone []bool
 	numLabels int
+
+	// Flat storage behind the memo structures: transInfo rows, their
+	// trans slices and label rows, recipes and their op lists. All of
+	// it is retained across warm evaluations and rewound on rebind.
+	tis     tiStore
+	i32s    sliceArena[int32]
+	opsA    sliceArena[op]
+	recipes []recipe
+	recTab  openTable[recipeKey, int32]
+	r2Tab   openTable[r2Key, r2entry]
 
 	pure  pureSets
 	arena cellArena
@@ -195,19 +242,83 @@ type evaluator struct {
 	// Non-memo fallback cache of jump analyses (tiny: one per distinct
 	// descent set).
 	jumpCache map[StateSet]jumpInfo
+
+	// Reusable scratch buffers (valid only within one call frame).
+	transBuf  []int32
+	opBuf     []op
+	srcBuf    []srcRef
+	walkStack []*NodeList
+	// scratchRec is the transient recipe slot for non-memo modes: it
+	// aliases opBuf and is consumed by applyTrans before any further
+	// computeRecipe call can clobber it.
+	scratchRec recipe
+}
+
+// rebind points the evaluator at a new (automaton, document, options)
+// binding: all memo state is cleared in place (backing storage is
+// kept) and the per-binding analyses are rebuilt.
+func (e *evaluator) rebind(a *ASTA, d *tree.Document, ix *index.Index, opt Options) {
+	e.a, e.d, e.ix, e.opt = a, d, ix, opt
+	e.bound = true
+	e.sets = e.sets[:0]
+	e.rows = e.rows[:0]
+	e.jumps = e.jumps[:0]
+	e.jumpsDone = e.jumpsDone[:0]
+	e.tis.reset()
+	e.i32s.reset()
+	e.i32s.chunkSize = i32Chunk
+	e.opsA.reset()
+	e.opsA.chunkSize = opChunk
+	e.recipes = e.recipes[:0]
+	e.jumpCache = nil
+	e.numLabels = 0
+	if opt.Memo {
+		e.setTab.clear()
+		e.recTab.clear()
+		if opt.InfoProp {
+			e.r2Tab.clear()
+		}
+		e.numLabels = d.Names().Size()
+	}
+	if opt.Jump {
+		e.initPureSets()
+		// Rebinding to a different automaton over the same document
+		// (pool churn on a hot document) keeps the cursors: they
+		// depend only on the index.
+		if e.cur == nil || e.cur.Index() != ix {
+			e.cur = ix.NewCursors()
+		} else {
+			e.cur.Reset()
+		}
+	} else {
+		e.cur = nil
+	}
+	e.arena.reset()
+	e.stats = Stats{}
+}
+
+// resetEval prepares a warm re-evaluation: memo state is kept, the
+// result arena and cursors rewind in place, stats restart. O(touched)
+// for the cursors, O(arena chunks) for the arena — no allocation.
+func (e *evaluator) resetEval() {
+	e.arena.reset()
+	if e.cur != nil {
+		e.cur.Reset()
+	}
+	e.stats = Stats{}
 }
 
 // internSet returns the dense id of a state set, registering it on first
-// sight. Only used in memo/jump modes; cheap map hit otherwise.
+// sight. Only used in memo mode; returns -1 otherwise.
 func (e *evaluator) internSet(r StateSet) int32 {
-	if e.setIDs == nil {
+	if !e.opt.Memo {
 		return -1
 	}
-	if id, ok := e.setIDs[r]; ok {
+	if id, ok := e.setTab.get(r); ok {
 		return id
 	}
 	id := int32(len(e.sets))
-	e.setIDs[r] = id
+	e.setTab.put(r, id)
 	e.sets = append(e.sets, r)
 	e.rows = append(e.rows, nil)
 	e.jumps = append(e.jumps, jumpInfo{})
@@ -336,40 +447,65 @@ func (e *evaluator) lookupTrans(r StateSet, rID int32, l tree.LabelID) *transInf
 	}
 	row := e.rows[rID]
 	if row == nil {
-		n := e.numLabels
-		if int(l) >= n {
-			n = int(l) + 1
-		}
-		row = make([]*transInfo, n)
+		row = e.newRow(e.rowLen(l))
 		e.rows[rID] = row
 	} else if int(l) >= len(row) {
-		grown := make([]*transInfo, int(l)+1)
+		grown := e.newRow(int(l) + 1)
 		copy(grown, row)
 		row = grown
 		e.rows[rID] = row
 	}
-	if ti := row[l]; ti != nil {
+	if id := row[l]; id >= 0 {
 		e.stats.MemoHits++
-		return ti
+		return e.tis.at(id)
 	}
 	ti := e.computeTransFor(r, l, true)
-	row[l] = ti
+	row[l] = ti.id
 	e.stats.MemoEntries++
 	return ti
 }
 
+// rowLen sizes a fresh label row: the document's label universe, or
+// past it for out-of-universe labels (defensive; labels normally come
+// from the document itself).
+func (e *evaluator) rowLen(l tree.LabelID) int {
+	n := e.numLabels
+	if int(l) >= n {
+		n = int(l) + 1
+	}
+	return n
+}
+
+// newRow carves a label row (transInfo ids, -1 = not yet computed) from
+// the int32 arena.
+func (e *evaluator) newRow(n int) []int32 {
+	row := e.i32s.carveFull(n)
+	for i := range row {
+		row[i] = -1
+	}
+	return row
+}
+
 // computeTransFor evaluates Line 3 from scratch for one label, paying
-// the |Q| factor — the naive cost model. With memo set it also interns
-// the child sets and allocates the recipe tables.
+// the |Q| factor — the naive cost model. With memo set the row is
+// stored in the tiStore with its trans slice in the arena and the child
+// sets interned; without it the row is transient (heap, GC'd with the
+// evaluation).
 func (e *evaluator) computeTransFor(r StateSet, l tree.LabelID, memo bool) *transInfo {
-	ti := &transInfo{r1ID: -1, r2ID: -1}
+	var ti *transInfo
+	if memo {
+		ti = e.tis.new()
+	} else {
+		ti = &transInfo{id: -1, r1ID: -1, r2ID: -1}
+	}
+	buf := e.transBuf[:0]
 	rest := r
 	for q := State(0); rest != 0; q++ {
 		if rest&1 != 0 {
 			for _, idx := range e.a.byFrom[q] {
 				t := &e.a.Trans[idx]
 				if t.Guard.Contains(l) {
-					ti.trans = append(ti.trans, idx)
+					buf = append(buf, idx)
 					ti.r1 |= t.down1
 					ti.r2 |= t.down2
 				}
@@ -377,13 +513,13 @@ func (e *evaluator) computeTransFor(r StateSet, l tree.LabelID, memo bool) *tran
 		}
 		rest >>= 1
 	}
+	e.transBuf = buf
 	if memo {
+		ti.trans = e.i32s.copyOf(buf)
 		ti.r1ID = e.internSet(ti.r1)
 		ti.r2ID = e.internSet(ti.r2)
-		ti.recipes = make(map[satPair]*recipe, 4)
-		if e.opt.InfoProp {
-			ti.r2memo = make(map[StateSet]r2entry, 4)
-		}
+	} else {
+		ti.trans = append([]int32(nil), buf...)
 	}
 	return ti
 }
@@ -393,14 +529,15 @@ func (e *evaluator) computeTransFor(r StateSet, l tree.LabelID, memo bool) *tran
 // to those still needed for a transition's value or for carrying marked
 // nodes.
 func (e *evaluator) lookupR2(ti *transInfo, sat1 StateSet) (StateSet, int32) {
-	if ti.r2memo != nil {
-		if ent, ok := ti.r2memo[sat1]; ok {
+	if ti.id >= 0 {
+		k := r2Key{ti: ti.id, s1: sat1}
+		if ent, ok := e.r2Tab.get(k); ok {
 			e.stats.MemoHits++
 			return ent.r2, ent.r2ID
 		}
 		r2 := e.computeR2(ti, sat1)
 		ent := r2entry{r2: r2, r2ID: e.internSet(r2)}
-		ti.r2memo[sat1] = ent
+		e.r2Tab.put(k, ent)
 		e.stats.MemoEntries++
 		return ent.r2, ent.r2ID
 	}
@@ -491,18 +628,18 @@ func (e *evaluator) partial(f *Formula, sat1 StateSet) (int8, StateSet) {
 // transitions' formulas under the children's results and build Γ.
 func (e *evaluator) applyTrans(ti *transInfo, v tree.NodeID, g1, g2, out *RSet) {
 	var rec *recipe
-	if ti.recipes != nil {
-		k := satPair{g1.Sat, g2.Sat}
-		if cached, ok := ti.recipes[k]; ok {
+	if ti.id >= 0 {
+		k := recipeKey{ti: ti.id, s1: g1.Sat, s2: g2.Sat}
+		if idx, ok := e.recTab.get(k); ok {
 			e.stats.MemoHits++
-			rec = cached
+			rec = &e.recipes[idx]
 		} else {
-			rec = e.computeRecipe(ti, g1.Sat, g2.Sat)
-			ti.recipes[k] = rec
+			rec = e.computeRecipe(ti, g1.Sat, g2.Sat, true)
+			e.recTab.put(k, int32(len(e.recipes)-1))
 			e.stats.MemoEntries++
 		}
 	} else {
-		rec = e.computeRecipe(ti, g1.Sat, g2.Sat)
+		rec = e.computeRecipe(ti, g1.Sat, g2.Sat, false)
 	}
 	out.Sat = rec.sat
 	for _, o := range rec.ops {
@@ -520,30 +657,40 @@ func (e *evaluator) applyTrans(ti *transInfo, v tree.NodeID, g1, g2, out *RSet) 
 // computeRecipe evaluates every active transition's formula against the
 // satisfied sets and records which result lists flow where. The recipe
 // depends only on (active transitions, sat1, sat2) — never on the node —
-// which is what makes eval_trans memoizable.
-func (e *evaluator) computeRecipe(ti *transInfo, sat1, sat2 StateSet) *recipe {
-	rec := &recipe{}
-	var scratch []srcRef
+// which is what makes eval_trans memoizable. With store set the recipe
+// is appended to the Context's recipe slice with its ops in the op
+// arena (the caller indexes it into the recipe table); otherwise the
+// returned recipe aliases the scratch buffers and is transient.
+func (e *evaluator) computeRecipe(ti *transInfo, sat1, sat2 StateSet, store bool) *recipe {
+	ops := e.opBuf[:0]
+	var sat StateSet
 	for _, idx := range ti.trans {
 		t := &e.a.Trans[idx]
-		scratch = scratch[:0]
+		scratch := e.srcBuf[:0]
 		ok := evalFormula(t.Phi, sat1, sat2, &scratch)
+		e.srcBuf = scratch
 		if !ok {
 			continue
 		}
-		rec.sat = rec.sat.With(t.From)
+		sat = sat.With(t.From)
 		if t.Selecting {
-			rec.ops = append(rec.ops, op{target: t.From, kind: opMark})
+			ops = append(ops, op{target: t.From, kind: opMark})
 		}
 		for _, s := range scratch {
 			kind := opLeft
 			if s.side == 2 {
 				kind = opRight
 			}
-			rec.ops = append(rec.ops, op{target: t.From, kind: kind, src: s.q})
+			ops = append(ops, op{target: t.From, kind: kind, src: s.q})
 		}
 	}
-	return rec
+	e.opBuf = ops
+	if store {
+		e.recipes = append(e.recipes, recipe{sat: sat, ops: e.opsA.copyOf(ops)})
+		return &e.recipes[len(e.recipes)-1]
+	}
+	e.scratchRec = recipe{sat: sat, ops: ops}
+	return &e.scratchRec
 }
 
 type srcRef struct {

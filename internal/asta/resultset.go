@@ -244,12 +244,14 @@ func rawConcat(a, b *NodeList, ar *cellArena) *NodeList {
 // copy, exact allocation. Leaves pass through untouched; every interior
 // rope is rebuilt, so exposure guarantees the full balance invariant no
 // matter what shape accumulation produced.
-func rebalance(nl *NodeList, ar *cellArena) *NodeList {
+// The stack parameter is caller-owned scratch (reused across warm
+// evaluations so the rebuild itself allocates nothing on the heap).
+func rebalance(nl *NodeList, ar *cellArena, stackp *[]*NodeList) *NodeList {
 	if nl == nil || nl.l == nil {
 		return nl
 	}
 	elems := allocIDs(ar, int(nl.count))
-	var stack []*NodeList
+	stack := (*stackp)[:0]
 	stack = append(stack, nl)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
@@ -260,6 +262,7 @@ func rebalance(nl *NodeList, ar *cellArena) *NodeList {
 		}
 		elems = append(elems, n.elems...)
 	}
+	*stackp = stack
 	leaves := (len(elems) + leafMax - 1) / leafMax
 	return buildBalanced(elems, leaves, ar)
 }
@@ -307,10 +310,14 @@ func balanceLeft(t, r *NodeList, ar *cellArena) *NodeList {
 // cellArena chunk-allocates rope cells and leaf storage: result lists
 // live only for the duration of one evaluation, so batching their
 // allocation removes the dominant per-node GC cost. Addresses are
-// stable because a chunk is never grown, only replaced.
+// stable because a chunk is never grown, only appended to the chunk
+// list. The arena is reusable: reset rewinds every chunk in place, so a
+// warm evaluation re-fills the same memory instead of allocating — the
+// caller (the evaluation Context) guarantees the previous result rope
+// is no longer referenced before resetting.
 type cellArena struct {
-	cells []NodeList
-	ids   []tree.NodeID
+	cells sliceArena[NodeList]
+	ids   sliceArena[tree.NodeID]
 }
 
 const (
@@ -319,27 +326,33 @@ const (
 )
 
 func (a *cellArena) alloc() *NodeList {
-	if len(a.cells) == cap(a.cells) {
-		a.cells = make([]NodeList, 0, arenaChunk)
+	if a.cells.chunkSize == 0 {
+		a.cells.chunkSize = arenaChunk
 	}
-	a.cells = a.cells[:len(a.cells)+1]
-	return &a.cells[len(a.cells)-1]
+	return &a.cells.carveFull(1)[0]
 }
 
-// allocIDs carves an empty, capacity-n window from the id chunk. The
-// window is exclusively the caller's: the full-slice-expression cap
-// keeps later carvings (and appends past the window) out of it.
+// allocIDs carves an empty, capacity-n window for leaf storage —
+// exclusively the caller's, with stable addresses (see sliceArena).
 func (a *cellArena) allocIDs(n int) []tree.NodeID {
-	if cap(a.ids)-len(a.ids) < n {
-		c := idChunk
-		if n > c {
-			c = n
-		}
-		a.ids = make([]tree.NodeID, 0, c)
+	if a.ids.chunkSize == 0 {
+		a.ids.chunkSize = idChunk
 	}
-	base := len(a.ids)
-	a.ids = a.ids[:base+n]
-	return a.ids[base : base : base+n]
+	return a.ids.carve(n)
+}
+
+// reset rewinds the arena for the next evaluation, keeping every chunk.
+// Stale contents are never read: cells are fully overwritten on alloc
+// and id windows only expose what their new owner appends.
+func (a *cellArena) reset() {
+	a.cells.reset()
+	a.ids.reset()
+}
+
+// memBytes estimates the arena's resident bytes (capacity, not use).
+func (a *cellArena) memBytes() int64 {
+	const cellSize = 64 // NodeList struct, padded
+	return a.cells.memBytes(cellSize) + a.ids.memBytes(8)
 }
 
 // Len returns the total element count, duplicates included, in O(1).
@@ -463,11 +476,19 @@ func (it *Iter) Next() (tree.NodeID, bool) {
 // exactly; a sorted duplicate-free rope (the common case) is one copy
 // with no sort and no dedup scan.
 func (nl *NodeList) Flatten() []tree.NodeID {
+	var stack []*NodeList
+	return nl.flattenInto(&stack)
+}
+
+// flattenInto is Flatten with a caller-owned traversal stack, so warm
+// materializing evaluations reuse the same scratch; the output slice
+// is always fresh (it outlives the evaluation arena by design).
+func (nl *NodeList) flattenInto(stackp *[]*NodeList) []tree.NodeID {
 	if nl == nil {
 		return nil
 	}
 	out := make([]tree.NodeID, 0, nl.count)
-	var stack []*NodeList
+	stack := (*stackp)[:0]
 	stack = append(stack, nl)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
@@ -478,6 +499,7 @@ func (nl *NodeList) Flatten() []tree.NodeID {
 		}
 		out = append(out, n.elems...)
 	}
+	*stackp = stack
 	if nl.sorted && nl.dups == 0 {
 		return out
 	}

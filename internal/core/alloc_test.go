@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmark"
+)
+
+// TestSteadyStateAllocCeilings pins the steady-state (cache-warm,
+// pool-warm) allocs/op of the three engine paths the service keeps
+// hot: the optimized ASTA evaluator, the deterministic TDSTA, and the
+// stepwise baseline. The ceilings carry headroom over measured values
+// (ASTA 12-23, TDSTA 24-44, stepwise 10-26 at this scale) but a future
+// accidental map rebuild, slice escape, or lost context reuse —
+// thousands of allocations per op — fails here instead of silently
+// regressing serving latency.
+//
+// The evaluation itself is allocation-free on the warm ASTA path; what
+// remains is answer materialization (Answer + node slice + cursor),
+// which scales with the answer, not the document.
+func TestSteadyStateAllocCeilings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc pinning is not meaningful under -short")
+	}
+	d := xmark.Generate(xmark.Config{Scale: 0.005, Seed: 3})
+	e := core.New(d)
+	cases := []struct {
+		name    string
+		query   string
+		strat   core.Strategy
+		ceiling float64
+	}{
+		// ASTA Opt: context pool makes evaluation allocation-free; the
+		// remainder is the materialized answer.
+		{"asta-opt/Q05", "//listitem//keyword", core.Optimized, 64},
+		{"asta-opt/Q08", "//listitem[ .//keyword and .//emph]//parlist", core.Optimized, 64},
+		{"asta-opt/Q11", "/site//keyword", core.Optimized, 64},
+		// TDSTA: compiled automaton cached; run state is per-eval.
+		{"tdsta/Q01", "/site/regions", core.TopDownDet, 128},
+		{"tdsta/Q04", "/site/regions/*/item", core.TopDownDet, 128},
+		// Stepwise baseline: per-step node sets are inherent, but the
+		// count must stay bounded per op.
+		{"stepwise/Q01", "/site/regions", core.Stepwise, 128},
+		{"stepwise/Q05", "//listitem//keyword", core.Stepwise, 256},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm every layer: compiled-query cache, context pool,
+			// arenas sized to the answer.
+			for i := 0; i < 3; i++ {
+				if _, err := e.QueryWith(tc.query, tc.strat); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(20, func() {
+				if _, err := e.QueryWith(tc.query, tc.strat); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > tc.ceiling {
+				t.Errorf("%s: %.1f allocs/op, ceiling %.0f", tc.name, got, tc.ceiling)
+			}
+			t.Logf("%s: %.1f allocs/op (ceiling %.0f)", tc.name, got, tc.ceiling)
+		})
+	}
+}

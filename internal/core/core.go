@@ -117,6 +117,11 @@ type Engine struct {
 	// one LRU and namespaces each engine by document id).
 	cache     *qcache.Cache
 	keyPrefix string
+
+	// pool keeps warm evaluation contexts keyed by compiled automaton,
+	// stamped with this engine's process-unique generation (see
+	// ctxpool.go for the leak-containment invariant).
+	pool *ctxPool
 }
 
 // New builds the engine, its index, and a private bounded query cache.
@@ -127,14 +132,23 @@ func New(d *tree.Document) *Engine {
 // NewWithCache builds an engine that stores compiled automata in the
 // given (possibly shared) cache, namespacing its keys with keyPrefix.
 func NewWithCache(d *tree.Document, c *qcache.Cache, keyPrefix string) *Engine {
-	return &Engine{doc: d, ix: index.New(d), cache: c, keyPrefix: keyPrefix}
+	return NewWithIndex(d, index.New(d), c, keyPrefix)
 }
 
 // NewWithIndex is NewWithCache for a document whose index is already
 // built (the document store builds the index once at load time).
 func NewWithIndex(d *tree.Document, ix *index.Index, c *qcache.Cache, keyPrefix string) *Engine {
-	return &Engine{doc: d, ix: ix, cache: c, keyPrefix: keyPrefix}
+	return &Engine{doc: d, ix: ix, cache: c, keyPrefix: keyPrefix, pool: newCtxPool()}
 }
+
+// PoolStats reports the engine's evaluation-context pool counters: the
+// steady-state signal for whether repeated queries are hitting warm
+// contexts (near-zero allocation) or rebuilding their scratch.
+func (e *Engine) PoolStats() PoolStats { return e.pool.stats() }
+
+// Generation returns the engine's process-unique generation stamp,
+// the value pooled contexts are guarded with.
+func (e *Engine) Generation() uint64 { return e.pool.gen }
 
 // CacheStats reports the compiled-query cache counters. For engines
 // built by NewWithCache the numbers cover every engine sharing the LRU.

@@ -22,10 +22,20 @@ import (
 // is single-use and not safe for concurrent use; resumption across
 // requests re-evaluates (hitting the compiled-automaton cache) and
 // seeks with SeekPast.
+//
+// A rope-backed Cursor holds the pooled evaluation context whose arena
+// the rope lives in. The context returns to the engine's pool when the
+// cursor is exhausted, materialized, or Closed — callers that may
+// abandon a cursor mid-answer (paging) should Close it so the warm
+// context is recycled instead of garbage-collected.
 type Cursor struct {
 	strategy    Strategy
 	visited     int
 	memoEntries int
+
+	// release returns the evaluation context backing rope to its pool;
+	// nil for slice-backed cursors and after the first release.
+	release func()
 
 	// Rope-backed stream (sorted ASTA answers): it walks rope; last is
 	// the most recently emitted (or seeked-past) node for dedup/resume.
@@ -109,6 +119,43 @@ func (c *Cursor) ensure() {
 	c.nodes = c.rope.Flatten()
 	c.total = len(c.nodes)
 	c.rope = nil
+	// The flattened slice owns the answer now; the rope's arena — and
+	// with it the evaluation context — is free to be reused.
+	c.doRelease()
+}
+
+// Close returns the cursor's evaluation context to the engine's pool
+// without consuming the rest of the answer. It is idempotent, runs
+// implicitly on exhaustion and materialization, and leaves the cursor
+// in the exhausted state (Count stays valid; Next reports done).
+func (c *Cursor) Close() {
+	if c.release == nil {
+		return
+	}
+	// Settle the representation first: an unsorted rope flattens (and
+	// releases) inside ensure, leaving the slice-backed form.
+	c.ensure()
+	if c.release == nil {
+		return
+	}
+	if c.total < 0 {
+		// Pin the cardinality before the rope's arena is recycled: an
+		// O(1) metadata read, exact because only sorted ropes survive
+		// ensure.
+		c.total = c.rope.Distinct()
+	}
+	c.rope, c.it = nil, nil
+	c.doRelease()
+}
+
+// doRelease hands the evaluation context back exactly once. After it
+// runs the rope must never be dereferenced again: its arena may be
+// serving another evaluation.
+func (c *Cursor) doRelease() {
+	if r := c.release; r != nil {
+		c.release = nil
+		r()
+	}
 }
 
 // Strategy is the strategy that actually ran (never Auto).
@@ -165,6 +212,10 @@ func (c *Cursor) Next() (tree.NodeID, bool) {
 		for {
 			v, ok := c.it.Next()
 			if !ok {
+				// Exhausted: the rope will never be read again, so the
+				// evaluation context can go back to work for the next
+				// query.
+				c.Close()
 				return tree.Nil, false
 			}
 			// Sorted rope: skipping v <= last both deduplicates and
@@ -202,11 +253,15 @@ func (c *Cursor) NextBatch(dst []tree.NodeID) int {
 // materialize converts a freshly created (unread) cursor into the
 // classic Answer; rope-backed cursors pay the one Flatten the
 // materializing path always paid (and, because ensure has not run,
-// nothing else).
+// nothing else). The flattened slice is heap-owned, so the evaluation
+// context is released immediately.
 func (c *Cursor) materialize() *Answer {
 	nodes := c.nodes
 	if nodes == nil && c.rope != nil {
 		nodes = c.rope.Flatten()
+		c.rope, c.it = nil, nil
+		c.ready = true
+		c.doRelease()
 	}
 	return &Answer{
 		Nodes:       nodes,
@@ -262,7 +317,10 @@ func (e *Engine) evalCursor(query string, p *xpath.Path, s Strategy) (*Cursor, e
 
 // astaCursor runs the ASTA evaluator lazily and wraps the result rope:
 // sorted ropes stream directly, unsorted ones (rare — out-of-order
-// unions from jumped regions) flatten once.
+// unions from jumped regions) flatten once. Evaluation runs in a
+// pooled context: warm checkouts reuse the memo world and arenas of
+// previous runs of the same automaton, and the context rides with the
+// cursor (its arena holds the rope) until exhaustion or Close.
 func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy) (*Cursor, error) {
 	v, _, err := e.cache.GetOrCompile(e.cacheKey("asta", query), func() (any, error) {
 		return compile.ToASTA(p, e.doc.Names())
@@ -270,11 +328,17 @@ func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy) (*Cursor, e
 	if err != nil {
 		return nil, err
 	}
-	res := v.(*asta.ASTA).EvalLazy(e.doc, e.ix, astaOptions(s))
+	aut := v.(*asta.ASTA)
+	key := poolKey{aut: aut, opt: astaOptions(s)}
+	pc := e.pool.checkout(key)
+	res := aut.EvalLazyCtx(pc.ctx, e.doc, e.ix, key.opt)
 	if res.List == nil {
+		e.pool.release(key, pc)
 		return newSliceCursor(nil, s, res.Stats.Visited, res.Stats.MemoEntries), nil
 	}
-	return newRopeCursor(res.List, s, res.Stats.Visited, res.Stats.MemoEntries), nil
+	c := newRopeCursor(res.List, s, res.Stats.Visited, res.Stats.MemoEntries)
+	c.release = func() { e.pool.release(key, pc) }
+	return c, nil
 }
 
 // autoCursor implements the Auto strategy (QueryWith's Auto is this

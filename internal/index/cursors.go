@@ -16,9 +16,16 @@ import (
 //
 // Correctness requires monotone use: NextAfter(l, x) assumes x is at
 // least as large as any previous bound passed for label l.
+//
+// Cursors are reusable: Reset rewinds only the labels an evaluation
+// actually advanced (tracked in touched), so a query that swept three
+// labels of a million-label document pays three writes, not a
+// million — the cost model a pooled evaluation context needs for
+// reuse to beat reallocation.
 type Cursors struct {
-	ix  *Index
-	pos []int32
+	ix      *Index
+	pos     []int32
+	touched []tree.LabelID
 }
 
 // NewCursors returns fresh cursors for one evaluation pass.
@@ -26,11 +33,22 @@ func (ix *Index) NewCursors() *Cursors {
 	return &Cursors{ix: ix, pos: make([]int32, len(ix.occ))}
 }
 
-// Reset rewinds all cursors for reuse.
+// Index returns the index the cursors sweep.
+func (c *Cursors) Index() *Index { return c.ix }
+
+// Reset rewinds the cursors for reuse in O(touched): only positions a
+// previous evaluation moved off zero are cleared. A reset cursor set
+// is indistinguishable from a fresh NewCursors.
 func (c *Cursors) Reset() {
-	for i := range c.pos {
-		c.pos[i] = 0
+	for _, l := range c.touched {
+		c.pos[l] = 0
 	}
+	c.touched = c.touched[:0]
+}
+
+// MemBytes estimates the resident bytes of the cursor set.
+func (c *Cursors) MemBytes() int64 {
+	return int64(cap(c.pos))*4 + int64(cap(c.touched))*4
 }
 
 // NextAfter returns the first occurrence of label l strictly after x, or
@@ -51,7 +69,15 @@ func (c *Cursors) NextAfter(l tree.LabelID, x tree.NodeID) tree.NodeID {
 			break
 		}
 	}
-	c.pos[l] = int32(i)
+	if i != int(c.pos[l]) {
+		// A label leaves the zero position at most once per evaluation
+		// (positions are monotone), so touched records each dirtied
+		// label exactly once.
+		if c.pos[l] == 0 {
+			c.touched = append(c.touched, l)
+		}
+		c.pos[l] = int32(i)
+	}
 	if i < len(occ) {
 		return occ[i]
 	}

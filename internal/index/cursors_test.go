@@ -149,6 +149,59 @@ func TestCursorsReset(t *testing.T) {
 	}
 }
 
+// TestCursorsResetEqualsFresh is the reuse contract behind pooled
+// evaluation contexts: after any monotone use pattern, a Reset cursor
+// set must be indistinguishable from a fresh NewCursors — same answers
+// for the same (label, bound) sequence, across every label, including
+// ones the previous pass never touched. Reset itself is O(touched),
+// which this test exercises by touching only a subset of labels per
+// round.
+func TestCursorsResetEqualsFresh(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := tgen.Random(seed, tgen.Config{MaxNodes: 400, Labels: names})
+		ix := index.New(d)
+		var ids []tree.LabelID
+		for _, n := range names {
+			if id, ok := d.Names().Lookup(n); ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		reused := ix.NewCursors()
+		for round := 0; round < 4; round++ {
+			// Each round touches a random subset of labels with a random
+			// monotone bound sequence, then compares the reused (Reset)
+			// cursors against brand-new ones, query by query.
+			fresh := ix.NewCursors()
+			sub := ids[:1+rng.Intn(len(ids))]
+			bounds := make(map[tree.LabelID]tree.NodeID, len(sub))
+			for _, l := range sub {
+				bounds[l] = tree.NodeID(-1)
+			}
+			for i := 0; i < 60; i++ {
+				l := sub[rng.Intn(len(sub))]
+				bounds[l] += tree.NodeID(rng.Intn(9))
+				got := reused.NextAfter(l, bounds[l])
+				want := fresh.NextAfter(l, bounds[l])
+				if got != want {
+					t.Logf("seed=%d round=%d NextAfter(%d, %d) = %d, want %d",
+						seed, round, l, bounds[l], got, want)
+					return false
+				}
+			}
+			reused.Reset()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestCursorsUnknownLabel(t *testing.T) {
 	d := tgen.Star("r", "c", 3)
 	ix := index.New(d)

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	runtimemetrics "runtime/metrics"
 	"sort"
 	"strconv"
 	"sync"
@@ -61,6 +62,22 @@ type Service struct {
 	shards  []*svcShard
 	budget  *qcache.Budget
 	workers int
+	// allocs0 is the process's cumulative heap-allocation count when
+	// the service was built; /stats reports the delta per query as the
+	// observed steady-state allocs/op.
+	allocs0 uint64
+}
+
+// heapAllocObjects reads the runtime's cumulative heap allocation
+// counter (objects, not bytes) — cheap (no stop-the-world), process
+// wide.
+func heapAllocObjects() uint64 {
+	s := []runtimemetrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() == runtimemetrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
 }
 
 // svcShard is one serving partition: the store partition it fronts,
@@ -116,6 +133,7 @@ func New(ss *shard.Store, opts Options) *Service {
 		store:   ss,
 		budget:  qcache.NewBudget(opts.CacheBytesTotal),
 		workers: workers,
+		allocs0: heapAllocObjects(),
 	}
 	// Seed the generations with process entropy: cursor tokens embed
 	// them, and counters restarting at zero would let a token issued by
@@ -334,6 +352,10 @@ func (s *Service) Eval(req Request) Response {
 	if st.cur == nil {
 		return st.resp
 	}
+	// Return the evaluation context to its pool even when the page
+	// limit leaves the cursor unexhausted — the next request for this
+	// (document, query) wants the warm context, not the GC.
+	defer st.cur.Close()
 	resp := st.resp
 	limit := req.Limit
 	if limit <= 0 {
@@ -421,6 +443,12 @@ type ShardStats struct {
 	LockWaitMaxNS  int64      `json:"lock_wait_max_ns"`
 	LockAcquires   uint64     `json:"lock_acquires"`
 	Queries        QueryStats `json:"queries"`
+	// Pool aggregates the evaluation-context pools of this shard's
+	// engines: hit rate is the fraction of queries served by a warm,
+	// allocation-free context, ArenaBytes the scratch memory those
+	// pooled contexts keep resident.
+	Pool        core.PoolStats `json:"ctx_pool"`
+	PoolHitRate float64        `json:"ctx_pool_hit_rate"`
 }
 
 // Stats is a point-in-time snapshot of the whole service plus the
@@ -435,6 +463,16 @@ type Stats struct {
 	// CacheBudget reports the shared byte budget when one is configured.
 	CacheBudget *qcache.BudgetStats `json:"cache_budget,omitempty"`
 	Queries     QueryStats          `json:"queries"`
+	// Pool aggregates the evaluation-context pools across all shards.
+	Pool        core.PoolStats `json:"ctx_pool"`
+	PoolHitRate float64        `json:"ctx_pool_hit_rate"`
+	// HeapAllocObjects is the process's cumulative heap allocations
+	// since the service started; AllocsPerQuery divides it by the
+	// query total — the observed (process-wide, so conservative)
+	// steady-state allocs/op. Warm context pooling should hold this
+	// near the floor set by response assembly rather than evaluation.
+	HeapAllocObjects uint64  `json:"heap_alloc_objects"`
+	AllocsPerQuery   float64 `json:"allocs_per_query_estimate"`
 }
 
 // Stats snapshots the store, caches and query counters, globally and
@@ -452,6 +490,10 @@ func (s *Service) Stats() Stats {
 		}
 		sh.mu.Lock()
 		engines := len(sh.engines)
+		var pool core.PoolStats
+		for _, ent := range sh.engines {
+			ent.engine.PoolStats().AddTo(&pool)
+		}
 		sh.mu.Unlock()
 		ss := ShardStats{
 			Shard:         sh.index,
@@ -464,7 +506,10 @@ func (s *Service) Stats() Stats {
 			LockWaitMaxNS: sh.lockWaitMaxNS.Load(),
 			LockAcquires:  sh.lockAcquires.Load(),
 			Queries:       sh.metrics.snapshot(),
+			Pool:          pool,
+			PoolHitRate:   pool.HitRate(),
 		}
+		pool.AddTo(&out.Pool)
 		if ss.LockAcquires > 0 {
 			ss.LockWaitMeanNS = sh.lockWaitNS.Load() / int64(ss.LockAcquires)
 		}
@@ -487,5 +532,12 @@ func (s *Service) Stats() Stats {
 		out.CacheBudget = &bs
 	}
 	out.Queries = agg.snapshot()
+	out.PoolHitRate = out.Pool.HitRate()
+	if now := heapAllocObjects(); now > s.allocs0 {
+		out.HeapAllocObjects = now - s.allocs0
+		if out.Queries.Total > 0 {
+			out.AllocsPerQuery = float64(out.HeapAllocObjects) / float64(out.Queries.Total)
+		}
+	}
 	return out
 }

@@ -69,6 +69,9 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 	if st.cur == nil {
 		return &st.resp
 	}
+	// Recycle the evaluation context on every exit path, including
+	// client-gone truncations and limit-cut pages.
+	defer st.cur.Close()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
