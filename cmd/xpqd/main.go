@@ -4,6 +4,7 @@
 //
 //	xpqd [-addr localhost:8714] [-shards N] [-cache-size 256] [-cache-bytes N]
 //	     [-cache-bytes-total N] [-workers N] [-stream-chunk 512] [-allow-file-loads]
+//	     [-log-level info] [-slow-query-ms N] [-flight-records 256] [-pprof]
 //	     [-load id=file.xml ...] [-load-bin id=file.xqo ...] [-xmark id=scale[:seed] ...]
 //
 // The document corpus is partitioned over -shards goroutine-affine
@@ -17,7 +18,8 @@
 //
 //	POST   /query      {"doc":"xm","query":"//listitem//keyword","strategy":"auto"}
 //	                   optional "limit" + "cursor" page the preorder answer;
-//	                   the response's "next" token resumes (410 after a reload)
+//	                   the response's "next" token resumes (410 after a reload);
+//	                   ?explain=1 attaches a span-tree profile
 //	POST   /query/stream  same body; NDJSON header/chunk/trailer lines,
 //	                   flushed per chunk so large answers stream in bounded memory
 //	POST   /batch      {"requests":[{...},{...}]}
@@ -27,7 +29,15 @@
 //	                   (the file-path forms require -allow-file-loads)
 //	DELETE /docs/{id}  evict a document (purges its compiled queries)
 //	GET    /stats      store + cache + latency metrics
+//	GET    /metrics    the same numbers in Prometheus text exposition
+//	GET    /debug/queries  flight recorder: last queries, ?slow=1 filters
 //	GET    /healthz    liveness
+//	GET    /debug/pprof/   profiling (only with -pprof)
+//
+// Logs are structured (log/slog, text format): every query carries its
+// request id, document and shard; queries at or above -slow-query-ms
+// are logged at Warn with their engine counters. -log-level debug logs
+// every query.
 //
 // SIGINT/SIGTERM drain in-flight requests and exit (graceful shutdown).
 package main
@@ -37,7 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,6 +72,21 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
+// parseLevel maps a -log-level value to a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:8714", "listen address")
@@ -72,6 +97,10 @@ func main() {
 		workers     = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		streamChunk = flag.Int("stream-chunk", service.DefaultStreamChunk, "nodes per /query/stream NDJSON chunk")
 		allowFiles  = flag.Bool("allow-file-loads", false, "let POST /docs read server-side file paths")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error (debug logs every query)")
+		slowQueryMS = flag.Int64("slow-query-ms", 100, "flag queries at or above this many milliseconds as slow (0 disables)")
+		flightRecs  = flag.Int("flight-records", 0, "flight recorder ring size for /debug/queries (0 = default)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		loads       multiFlag
 		loadBins    multiFlag
 		xmarks      multiFlag
@@ -81,15 +110,27 @@ func main() {
 	flag.Var(&xmarks, "xmark", "pregenerate an XMark document, id=scale[:seed] (repeatable)")
 	flag.Parse()
 
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpqd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	st := shard.NewStore(*shards)
-	if err := preload(st, loads, loadBins, xmarks); err != nil {
-		log.Fatalf("xpqd: %v", err)
+	if err := preload(st, logger, loads, loadBins, xmarks); err != nil {
+		logger.Error("preload failed", slog.Any("err", err))
+		os.Exit(1)
 	}
 	svc := service.New(st, service.Options{
 		CacheSize:       *cacheSize,
 		CacheBytes:      *cacheBytes,
 		CacheBytesTotal: *cacheTotal,
 		Workers:         *workers,
+		SlowQuery:       time.Duration(*slowQueryMS) * time.Millisecond,
+		FlightRecords:   *flightRecs,
+		Logger:          logger,
 	})
 
 	srv := &http.Server{
@@ -97,13 +138,19 @@ func main() {
 		Handler: service.NewHandler(svc, service.HandlerOptions{
 			AllowFileLoads: *allowFiles,
 			StreamChunk:    *streamChunk,
+			EnablePprof:    *pprofFlag,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("xpqd: listening on %s (%d shards, %d documents resident)", *addr, st.NumShards(), st.Len())
+		logger.Info("listening",
+			slog.String("addr", *addr),
+			slog.Int("shards", st.NumShards()),
+			slog.Int("documents", st.Len()),
+			slog.Int64("slow_query_ms", *slowQueryMS),
+			slog.Bool("pprof", *pprofFlag))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -111,21 +158,22 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("xpqd: %v", err)
+		logger.Error("server failed", slog.Any("err", err))
+		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("xpqd: %s, draining", sig)
+		logger.Info("draining", slog.String("signal", sig.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("xpqd: shutdown: %v", err)
+			logger.Warn("shutdown", slog.Any("err", err))
 		}
-		log.Print("xpqd: bye")
+		logger.Info("bye")
 	}
 }
 
 // preload loads every -load/-load-bin/-xmark document before serving,
 // so first queries never pay parse or index latency.
-func preload(st *shard.Store, loads, loadBins, xmarks []string) error {
+func preload(st *shard.Store, logger *slog.Logger, loads, loadBins, xmarks []string) error {
 	for _, spec := range loads {
 		id, path, err := splitSpec(spec, "-load")
 		if err != nil {
@@ -135,7 +183,7 @@ func preload(st *shard.Store, loads, loadBins, xmarks []string) error {
 		if err != nil {
 			return err
 		}
-		logLoaded(h)
+		logLoaded(logger, h)
 	}
 	for _, spec := range loadBins {
 		id, path, err := splitSpec(spec, "-load-bin")
@@ -146,7 +194,7 @@ func preload(st *shard.Store, loads, loadBins, xmarks []string) error {
 		if err != nil {
 			return err
 		}
-		logLoaded(h)
+		logLoaded(logger, h)
 	}
 	for _, spec := range xmarks {
 		id, arg, err := splitSpec(spec, "-xmark")
@@ -168,7 +216,7 @@ func preload(st *shard.Store, loads, loadBins, xmarks []string) error {
 		if err != nil {
 			return err
 		}
-		logLoaded(h)
+		logLoaded(logger, h)
 	}
 	return nil
 }
@@ -181,8 +229,11 @@ func splitSpec(spec, flagName string) (id, rest string, err error) {
 	return id, rest, nil
 }
 
-func logLoaded(h *store.Handle) {
-	log.Printf("xpqd: loaded %q: %d nodes, %d labels, ~%.1f MB (%s)",
-		h.ID, h.Stats.Nodes, h.Stats.Labels,
-		float64(h.Stats.MemBytes)/(1<<20), h.Stats.Source)
+func logLoaded(logger *slog.Logger, h *store.Handle) {
+	logger.Info("loaded document",
+		slog.String("doc", h.ID),
+		slog.Int("nodes", h.Stats.Nodes),
+		slog.Int("labels", h.Stats.Labels),
+		slog.Int64("mem_bytes", h.Stats.MemBytes),
+		slog.String("source", string(h.Stats.Source)))
 }

@@ -13,16 +13,26 @@
 // allocs/op and ≥30% less ns/op than cold on the memo-dominated
 // queries. BENCH_eval.json is seeded from this benchmark and the CI
 // bench smoke gates the warm-path allocation ceiling.
+//
+// The warm-traced variant adds the per-query observability work the
+// serving layers now do on every (non-explain) request: the nil-trace
+// span calls threaded through the engine, the counter lifts, and one
+// flight-recorder admission. BENCH_obsv.json is seeded from it and CI
+// gates the paired geomean warm-traced/warm at 1.05 with the same ≤5
+// allocs/op ceiling — observability must not give back the pooled
+// memory model.
 package repro_test
 
 import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/asta"
 	"repro/internal/compile"
 	"repro/internal/exp"
+	"repro/internal/obsv"
 	"repro/internal/xmark"
 )
 
@@ -71,6 +81,41 @@ func BenchmarkEvalSteadyState(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					_ = aut.EvalLazyCtx(ctx, w.Doc, w.Index, asta.Opt())
+				}
+			})
+			b.Run(name+"/warm-traced", func(b *testing.B) {
+				ctx := asta.NewContext()
+				_ = aut.EvalLazyCtx(ctx, w.Doc, w.Index, asta.Opt())
+				// The always-on observability of the serving path: a nil
+				// trace (non-explain requests never allocate one — Begin
+				// and End are nil-checked no-ops), counters lifted off
+				// the result, one flight-recorder admission.
+				flight := obsv.NewFlight(obsv.DefaultFlightRecords, 100*time.Millisecond)
+				var tr *obsv.Trace
+				rec := obsv.Record{
+					Doc:        "xm",
+					Query:      q.XPath,
+					Strategy:   "optimized",
+					Outcome:    obsv.OutcomeOK,
+					QCacheHit:  true,
+					CtxPoolHit: true,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sp := tr.Begin(obsv.SpanRoute)
+					tr.End(sp)
+					sp = tr.Begin(obsv.SpanEngine)
+					tr.End(sp)
+					sp = tr.Begin(obsv.SpanCompile)
+					tr.End(sp)
+					sp = tr.Begin(obsv.SpanRun)
+					res := aut.EvalLazyCtx(ctx, w.Doc, w.Index, asta.Opt())
+					tr.End(sp)
+					rec.Visited = res.Stats.Visited
+					rec.MemoHits = res.Stats.MemoHits
+					rec.Jumps = res.Stats.Jumps
+					flight.Add(rec)
 				}
 			})
 		}

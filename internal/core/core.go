@@ -193,7 +193,7 @@ func (e *Engine) QueryWith(query string, s Strategy) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := e.evalCursor(query, p, s)
+	c, err := e.evalCursor(query, p, s, nil)
 	if err != nil {
 		return nil, err
 	}

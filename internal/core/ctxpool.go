@@ -147,9 +147,10 @@ func newCtxPool() *ctxPool {
 
 // checkout returns a context bound (or bindable) to the key's
 // (automaton, options): a warm pooled one when available, a fresh one
-// otherwise. The caller must hand the result back via release exactly
-// once.
-func (p *ctxPool) checkout(k poolKey) pooledCtx {
+// otherwise, plus whether the checkout was warm (the observability
+// layer lifts this into per-query records). The caller must hand the
+// result back via release exactly once.
+func (p *ctxPool) checkout(k poolKey) (pooledCtx, bool) {
 	p.mu.Lock()
 	if list := p.pools[k]; len(list) > 0 {
 		pc := list[len(list)-1]
@@ -157,7 +158,8 @@ func (p *ctxPool) checkout(k poolKey) pooledCtx {
 		p.mu.Unlock()
 		p.resident.Add(-1)
 		p.arenaBytes.Add(-pc.bytes)
-		if pc.gen != p.gen {
+		warm := pc.gen == p.gen
+		if !warm {
 			// Stamp mismatch: this context was created under a
 			// different engine (and so possibly a different document
 			// generation). Its memo state is untrusted — reset to
@@ -172,11 +174,11 @@ func (p *ctxPool) checkout(k poolKey) pooledCtx {
 			p.hits.Add(1)
 		}
 		pc.bytes = 0
-		return pc
+		return pc, warm
 	}
 	p.mu.Unlock()
 	p.misses.Add(1)
-	return pooledCtx{ctx: asta.NewContext(), gen: p.gen}
+	return pooledCtx{ctx: asta.NewContext(), gen: p.gen}, false
 }
 
 // release parks a checked-out context for reuse, unless the pool for

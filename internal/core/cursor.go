@@ -8,6 +8,7 @@ import (
 	"repro/internal/asta"
 	"repro/internal/compile"
 	"repro/internal/hybrid"
+	"repro/internal/obsv"
 	"repro/internal/sta"
 	"repro/internal/stepwise"
 	"repro/internal/tree"
@@ -32,6 +33,13 @@ type Cursor struct {
 	strategy    Strategy
 	visited     int
 	memoEntries int
+	// Observability counters lifted from the run (ASTA engines; zero
+	// for the baselines) and from the serving caches: how the answer
+	// was produced, for explain profiles and the flight recorder.
+	memoHits  int
+	jumps     int
+	poolHit   bool
+	qcacheHit bool
 
 	// release returns the evaluation context backing rope to its pool;
 	// nil for slice-backed cursors and after the first release.
@@ -167,6 +175,22 @@ func (c *Cursor) Visited() int { return c.visited }
 // MemoEntries counts memoized configurations (ASTA engines only).
 func (c *Cursor) MemoEntries() int { return c.memoEntries }
 
+// MemoHits counts constant-time memo-table lookups served during the
+// run (ASTA engines only).
+func (c *Cursor) MemoHits() int { return c.memoHits }
+
+// Jumps counts index jump operations performed (ASTA engines only).
+func (c *Cursor) Jumps() int { return c.jumps }
+
+// CtxPoolHit reports whether the evaluation ran in a warm pooled
+// context (allocation-free steady state) rather than a fresh one.
+func (c *Cursor) CtxPoolHit() bool { return c.poolHit }
+
+// QCacheHit reports whether the compiled automaton came from the
+// compiled-query cache rather than being compiled for this run. It is
+// false for strategies that compile nothing (stepwise, hybrid).
+func (c *Cursor) QCacheHit() bool { return c.qcacheHit }
+
 // Count returns the full answer cardinality, independent of the read
 // position. Rope-backed cursors read it from the rope's cached
 // metadata in O(1) (on a sorted rope the adjacent-distinct count is
@@ -276,41 +300,62 @@ func (c *Cursor) materialize() *Answer {
 // result representation allows (ASTA ropes in document order). The
 // strategy semantics match QueryWith.
 func (e *Engine) EvalCursor(query string, s Strategy) (*Cursor, error) {
+	return e.EvalCursorTrace(query, s, nil)
+}
+
+// EvalCursorTrace is EvalCursor recording phase spans (parse, strategy
+// selection, qcache lookup/compile, automaton run) into tr, which may
+// be nil (every trace operation is a nil-safe no-op — this is the same
+// code path EvalCursor runs). Engine-effort counters land on the
+// returned Cursor either way.
+func (e *Engine) EvalCursorTrace(query string, s Strategy, tr *obsv.Trace) (*Cursor, error) {
+	sp := tr.Begin(obsv.SpanParse)
 	p, err := xpath.Parse(query)
+	tr.End(sp)
 	if err != nil {
 		return nil, err
 	}
-	return e.evalCursor(query, p, s)
+	return e.evalCursor(query, p, s, tr)
 }
 
-func (e *Engine) evalCursor(query string, p *xpath.Path, s Strategy) (*Cursor, error) {
+func (e *Engine) evalCursor(query string, p *xpath.Path, s Strategy, tr *obsv.Trace) (*Cursor, error) {
 	switch s {
 	case Stepwise:
+		sp := tr.Begin(obsv.SpanRun)
 		res := stepwise.Eval(e.doc, p, stepwise.Default())
+		tr.End(sp)
 		return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
 	case Hybrid:
+		sp := tr.Begin(obsv.SpanRun)
 		res, err := hybrid.Eval(e.doc, e.ix, p)
+		tr.End(sp)
 		if err != nil {
 			return nil, err
 		}
 		return newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0), nil
 	case TopDownDet:
-		v, _, err := e.cache.GetOrCompile(e.cacheKey("tdsta", query), func() (any, error) {
+		sp := tr.Begin(obsv.SpanCompile)
+		v, hit, err := e.cache.GetOrCompile(e.cacheKey("tdsta", query), func() (any, error) {
 			aut, err := compile.ToTDSTA(p, e.doc.Names())
 			if err != nil {
 				return nil, err
 			}
 			return aut.MinimizeTopDown(), nil
 		})
+		tr.End(sp)
 		if err != nil {
 			return nil, err
 		}
+		sp = tr.Begin(obsv.SpanRun)
 		res := v.(*sta.STA).EvalTopDownJump(e.doc, e.ix)
-		return newSliceCursor(res.Selected, TopDownDet, res.Visited, 0), nil
+		tr.End(sp)
+		c := newSliceCursor(res.Selected, TopDownDet, res.Visited, 0)
+		c.qcacheHit = hit
+		return c, nil
 	case Naive, Jumping, Memoized, Optimized:
-		return e.astaCursor(query, p, s)
+		return e.astaCursor(query, p, s, tr)
 	case Auto:
-		return e.autoCursor(query, p)
+		return e.autoCursor(query, p, tr)
 	}
 	return nil, fmt.Errorf("core: unknown strategy %v", s)
 }
@@ -321,23 +366,33 @@ func (e *Engine) evalCursor(query string, p *xpath.Path, s Strategy) (*Cursor, e
 // pooled context: warm checkouts reuse the memo world and arenas of
 // previous runs of the same automaton, and the context rides with the
 // cursor (its arena holds the rope) until exhaustion or Close.
-func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy) (*Cursor, error) {
-	v, _, err := e.cache.GetOrCompile(e.cacheKey("asta", query), func() (any, error) {
+func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy, tr *obsv.Trace) (*Cursor, error) {
+	sp := tr.Begin(obsv.SpanCompile)
+	v, hit, err := e.cache.GetOrCompile(e.cacheKey("asta", query), func() (any, error) {
 		return compile.ToASTA(p, e.doc.Names())
 	})
+	tr.End(sp)
 	if err != nil {
 		return nil, err
 	}
 	aut := v.(*asta.ASTA)
 	key := poolKey{aut: aut, opt: astaOptions(s)}
-	pc := e.pool.checkout(key)
+	pc, warm := e.pool.checkout(key)
+	sp = tr.Begin(obsv.SpanRun)
 	res := aut.EvalLazyCtx(pc.ctx, e.doc, e.ix, key.opt)
+	tr.End(sp)
+	var c *Cursor
 	if res.List == nil {
 		e.pool.release(key, pc)
-		return newSliceCursor(nil, s, res.Stats.Visited, res.Stats.MemoEntries), nil
+		c = newSliceCursor(nil, s, res.Stats.Visited, res.Stats.MemoEntries)
+	} else {
+		c = newRopeCursor(res.List, s, res.Stats.Visited, res.Stats.MemoEntries)
+		c.release = func() { e.pool.release(key, pc) }
 	}
-	c := newRopeCursor(res.List, s, res.Stats.Visited, res.Stats.MemoEntries)
-	c.release = func() { e.pool.release(key, pc) }
+	c.memoHits = res.Stats.MemoHits
+	c.jumps = res.Stats.Jumps
+	c.poolHit = warm
+	c.qcacheHit = hit
 	return c, nil
 }
 
@@ -348,20 +403,27 @@ func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy) (*Cursor, e
 // backward axes, text functions, §6's black-box handling). Any other
 // failure surfaces instead of silently degrading to a different
 // engine.
-func (e *Engine) autoCursor(query string, p *xpath.Path) (*Cursor, error) {
-	if min, max, ok := e.chainCounts(p); ok && max > 0 &&
-		float64(min) <= hybridCountFraction*float64(max) {
-		if res, err := hybrid.Eval(e.doc, e.ix, p); err == nil {
+func (e *Engine) autoCursor(query string, p *xpath.Path, tr *obsv.Trace) (*Cursor, error) {
+	sp := tr.Begin(obsv.SpanSelect)
+	min, max, chain := e.chainCounts(p)
+	tr.End(sp)
+	if chain && max > 0 && float64(min) <= hybridCountFraction*float64(max) {
+		sp = tr.Begin(obsv.SpanRun)
+		res, err := hybrid.Eval(e.doc, e.ix, p)
+		tr.End(sp)
+		if err == nil {
 			return newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0), nil
 		}
 	}
-	c, err := e.astaCursor(query, p, Optimized)
+	c, err := e.astaCursor(query, p, Optimized, tr)
 	if err == nil {
 		return c, nil
 	}
 	if !errors.Is(err, compile.ErrUnsupported) {
 		return nil, err
 	}
+	sp = tr.Begin(obsv.SpanRun)
 	res := stepwise.Eval(e.doc, p, stepwise.Default())
+	tr.End(sp)
 	return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
 }

@@ -1,0 +1,150 @@
+package obsv
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), written by hand:
+// the daemon must not grow a client-library dependency for what is a
+// line protocol. The writer keeps the invariants a scraper relies on —
+// one # HELP and # TYPE line per family, emitted before its samples;
+// label values escaped; numbers in a form Prometheus parses (integers
+// without exponents, +Inf for the histogram overflow bucket).
+
+// MetricType values for Family.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// PromWriter accumulates one exposition. Errors from the underlying
+// writer are sticky and surfaced by Flush; intermediate calls stay
+// unconditional so call sites read as a declaration of the exposition.
+type PromWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewPromWriter wraps w. Call Family then Sample repeatedly, then
+// Flush.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// Family declares a metric family: its # HELP and # TYPE header.
+func (p *PromWriter) Family(name, help, typ string) {
+	p.buf = append(p.buf, "# HELP "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, escapeHelp(help)...)
+	p.buf = append(p.buf, "\n# TYPE "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, typ...)
+	p.buf = append(p.buf, '\n')
+	p.flushBuf()
+}
+
+// Sample emits one sample line. labels are alternating key, value
+// pairs; odd trailing elements are ignored.
+func (p *PromWriter) Sample(name string, value float64, labels ...string) {
+	p.buf = append(p.buf, name...)
+	p.appendLabels(labels)
+	p.buf = append(p.buf, ' ')
+	p.appendValue(value)
+	p.buf = append(p.buf, '\n')
+	p.flushBuf()
+}
+
+// Histogram emits a conventional cumulative histogram family body:
+// name_bucket{le="..."} lines (cumulative counts, ending with +Inf),
+// name_sum and name_count. bounds and counts are parallel;
+// counts[len(bounds)] is the overflow bin. The caller declared the
+// family with TypeHistogram.
+func (p *PromWriter) Histogram(name string, bounds []float64, counts []uint64, sum float64, labels ...string) {
+	cum := uint64(0)
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		p.Sample(name+"_bucket", float64(cum),
+			append(append([]string(nil), labels...), "le", formatFloat(b))...)
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	p.Sample(name+"_bucket", float64(cum),
+		append(append([]string(nil), labels...), "le", "+Inf")...)
+	p.Sample(name+"_sum", sum, labels...)
+	p.Sample(name+"_count", float64(cum), labels...)
+}
+
+// Flush reports the first write error, if any.
+func (p *PromWriter) Flush() error { return p.err }
+
+func (p *PromWriter) appendLabels(labels []string) {
+	if len(labels) < 2 {
+		return
+	}
+	p.buf = append(p.buf, '{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			p.buf = append(p.buf, ',')
+		}
+		p.buf = append(p.buf, labels[i]...)
+		p.buf = append(p.buf, '=', '"')
+		p.buf = append(p.buf, escapeLabel(labels[i+1])...)
+		p.buf = append(p.buf, '"')
+	}
+	p.buf = append(p.buf, '}')
+}
+
+// appendValue renders v the way Prometheus expects: integral values
+// without an exponent (counters stay exact up to 2^53), +Inf/-Inf/NaN
+// spelled out, everything else in shortest float form.
+func (p *PromWriter) appendValue(v float64) {
+	p.buf = append(p.buf, formatFloat(v)...)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (p *PromWriter) flushBuf() {
+	if p.err == nil {
+		_, p.err = p.w.Write(p.buf)
+	}
+	p.buf = p.buf[:0]
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return helpEscaper.Replace(s)
+}

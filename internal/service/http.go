@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/store"
@@ -20,7 +23,17 @@ import (
 //	POST   /docs    LoadRequest              -> store.Stats
 //	DELETE /docs/{id}                        -> 204
 //	GET    /stats                            -> Stats
+//	GET    /metrics                          -> Prometheus text exposition
+//	GET    /debug/queries                    -> flight recorder (?n=, ?slow=1)
 //	GET    /healthz                          -> 200 "ok"
+//	GET    /debug/pprof/...                  -> pprof (opt-in via EnablePprof)
+//
+// The query endpoints accept ?explain=1 (or "explain": true in the
+// body) to attach an EXPLAIN-ANALYZE span-tree profile to the response
+// (for streams, to the trailer). Every query request is tagged with a
+// request id — X-Request-Id when the client sent one, generated
+// otherwise — echoed in the response headers, the explain profile, the
+// flight records and the logs.
 
 // BatchRequest is the body of POST /batch.
 type BatchRequest struct {
@@ -68,6 +81,38 @@ type HandlerOptions struct {
 	// DefaultStreamWriteTimeout. This is deliberately per-write, not
 	// per-stream: arbitrarily long streams to live readers are fine.
 	StreamWriteTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints leak internals and cost CPU, so an
+	// exposed daemon opts in explicitly (-pprof).
+	EnablePprof bool
+}
+
+// reqSeq numbers generated request ids within this process.
+var reqSeq atomic.Uint64
+
+// ridEpoch distinguishes restarts, so generated ids don't collide
+// across process lifetimes in one log stream.
+var ridEpoch = uint64(time.Now().UnixNano())
+
+// ensureRequestID returns the client's X-Request-Id or generates one,
+// and echoes it on the response.
+func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = "q-" + strconv.FormatUint(ridEpoch&0xffffff, 16) + "-" + strconv.FormatUint(reqSeq.Add(1), 16)
+	}
+	w.Header().Set("X-Request-Id", rid)
+	return rid
+}
+
+// wantExplain merges the ?explain=1 query parameter into the decoded
+// request body's Explain field.
+func wantExplain(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 // DefaultStreamWriteTimeout is the per-chunk write deadline of
@@ -99,6 +144,8 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
+		req.RequestID = ensureRequestID(w, r)
+		req.Explain = req.Explain || wantExplain(r)
 		resp := s.Eval(req)
 		writeJSON(w, statusFor(resp), resp)
 	})
@@ -107,6 +154,8 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
+		req.RequestID = ensureRequestID(w, r)
+		req.Explain = req.Explain || wantExplain(r)
 		// The content type goes out with the first flush; from then on
 		// the response is committed and a failure truncates the stream.
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -128,6 +177,12 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 		var req BatchRequest
 		if !decodeJSON(w, r, &req) {
 			return
+		}
+		// Sub-requests share the batch's request id, suffixed with
+		// their index, so one batch is one greppable log prefix.
+		rid := ensureRequestID(w, r)
+		for i := range req.Requests {
+			req.Requests[i].RequestID = rid + "." + strconv.Itoa(i)
 		}
 		// Per-request failures ride in each Response.Err; the batch is 200.
 		writeJSON(w, http.StatusOK, BatchResponse{Responses: s.EvalBatch(req.Requests)})
@@ -169,10 +224,27 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit, _ := strconv.Atoi(q.Get("n"))
+		slowOnly := q.Get("slow") == "1" || q.Get("slow") == "true"
+		writeJSON(w, http.StatusOK, s.Flight().Snapshot(limit, slowOnly))
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -25,15 +25,48 @@ type metrics struct {
 	latencySumUS  int64
 	latencyMaxUS  int64
 
-	// Streaming counters: one recordStream per finished (or
-	// client-aborted) stream; chunk latencies cover encode+write+flush.
-	streams         uint64
-	streamChunks    uint64
-	streamNodes     uint64
+	// Streaming counters: one recordStream per stream whose header
+	// went out, split by how it ended. Completed and aborted streams
+	// are counted separately — and only completed streams feed the
+	// first-byte/chunk-write latency aggregates, so a broken pipe's
+	// stalled final write cannot pollute the latency means the
+	// capacity planning reads. Chunk latencies cover
+	// encode+write+flush.
+	streamsCompleted uint64
+	streamsAborted   uint64
+	abortHeaderWrite uint64
+	abortChunkWrite  uint64
+	streamChunks     uint64
+	streamNodes      uint64
+	// Latency aggregates, completed streams only. latencyChunks is
+	// the chunk count underlying chunkWriteSumUS (aborted streams'
+	// chunks are excluded from the mean's denominator too).
+	latencyChunks   uint64
 	firstByteSumUS  int64
 	firstByteMaxUS  int64
 	chunkWriteSumUS int64
 	chunkWriteMaxUS int64
+}
+
+// abortCause says which write the client abandoned; recorded so the
+// abort metrics (and flight records) can distinguish a reader that
+// never got data from one that stopped mid-answer.
+type abortCause uint8
+
+const (
+	abortNone abortCause = iota
+	abortHeaderWrite
+	abortChunkWrite
+)
+
+func (c abortCause) String() string {
+	switch c {
+	case abortHeaderWrite:
+		return "header_write"
+	case abortChunkWrite:
+		return "chunk_write"
+	}
+	return "none"
 }
 
 func (m *metrics) record(strat core.Strategy, elapsedUS int64, visited, selected int) {
@@ -58,12 +91,26 @@ func (m *metrics) record(strat core.Strategy, elapsedUS int64, visited, selected
 	}
 }
 
-func (m *metrics) recordStream(chunks, nodes int, firstByteUS, chunkSumUS, chunkMaxUS int64) {
+func (m *metrics) recordStream(cause abortCause, chunks, nodes int, firstByteUS, chunkSumUS, chunkMaxUS int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.streams++
 	m.streamChunks += uint64(chunks)
 	m.streamNodes += uint64(nodes)
+	if cause != abortNone {
+		// Aborted: count the stream and what it delivered, but keep
+		// its write latencies out of the aggregates — a broken pipe
+		// measures the client's death, not the server's latency.
+		m.streamsAborted++
+		switch cause {
+		case abortHeaderWrite:
+			m.abortHeaderWrite++
+		case abortChunkWrite:
+			m.abortChunkWrite++
+		}
+		return
+	}
+	m.streamsCompleted++
+	m.latencyChunks += uint64(chunks)
 	m.firstByteSumUS += firstByteUS
 	if firstByteUS > m.firstByteMaxUS {
 		m.firstByteMaxUS = firstByteUS
@@ -108,9 +155,13 @@ func (m *metrics) addTo(dst *metrics) {
 	if m.latencyMaxUS > dst.latencyMaxUS {
 		dst.latencyMaxUS = m.latencyMaxUS
 	}
-	dst.streams += m.streams
+	dst.streamsCompleted += m.streamsCompleted
+	dst.streamsAborted += m.streamsAborted
+	dst.abortHeaderWrite += m.abortHeaderWrite
+	dst.abortChunkWrite += m.abortChunkWrite
 	dst.streamChunks += m.streamChunks
 	dst.streamNodes += m.streamNodes
+	dst.latencyChunks += m.latencyChunks
 	dst.firstByteSumUS += m.firstByteSumUS
 	if m.firstByteMaxUS > dst.firstByteMaxUS {
 		dst.firstByteMaxUS = m.firstByteMaxUS
@@ -137,9 +188,13 @@ type QueryStats struct {
 	SelectedNodes uint64            `json:"selected_nodes"`
 	ByStrategy    map[string]uint64 `json:"by_strategy,omitempty"`
 	Latency       []LatencyBucket   `json:"latency_histogram,omitempty"`
-	LatencyMeanUS int64             `json:"latency_mean_us"`
-	LatencyMaxUS  int64             `json:"latency_max_us"`
-	Streaming     StreamStats       `json:"streaming"`
+	// LatencySumUS is the raw sum behind the mean; the Prometheus
+	// exporter needs it (histogram _sum must be exact, not
+	// mean*count).
+	LatencySumUS  int64       `json:"latency_sum_us"`
+	LatencyMeanUS int64       `json:"latency_mean_us"`
+	LatencyMaxUS  int64       `json:"latency_max_us"`
+	Streaming     StreamStats `json:"streaming"`
 }
 
 // StreamStats is the cumulative streaming picture: how many NDJSON
@@ -147,13 +202,24 @@ type QueryStats struct {
 // chunk writes take (the chunk-write latency is the backpressure
 // signal: slow readers show up here, not in server memory).
 type StreamStats struct {
-	Streams         uint64 `json:"streams"`
-	Chunks          uint64 `json:"chunks"`
-	Nodes           uint64 `json:"nodes"`
-	FirstByteMeanUS int64  `json:"first_byte_mean_us"`
-	FirstByteMaxUS  int64  `json:"first_byte_max_us"`
-	ChunkWriteMean  int64  `json:"chunk_write_mean_us"`
-	ChunkWriteMaxUS int64  `json:"chunk_write_max_us"`
+	// Streams counts every stream whose header went out; Completed
+	// and Aborted split it by ending (completed = trailer delivered,
+	// aborted = client gone mid-stream), with the aborted side broken
+	// down by which write failed. Latency aggregates cover completed
+	// streams only, so broken pipes don't pollute them.
+	Streams            uint64 `json:"streams"`
+	Completed          uint64 `json:"completed"`
+	Aborted            uint64 `json:"aborted"`
+	AbortedHeaderWrite uint64 `json:"aborted_header_write,omitempty"`
+	AbortedChunkWrite  uint64 `json:"aborted_chunk_write,omitempty"`
+	Chunks             uint64 `json:"chunks"`
+	Nodes              uint64 `json:"nodes"`
+	FirstByteSumUS     int64  `json:"first_byte_sum_us"`
+	FirstByteMeanUS    int64  `json:"first_byte_mean_us"`
+	FirstByteMaxUS     int64  `json:"first_byte_max_us"`
+	ChunkWriteSumUS    int64  `json:"chunk_write_sum_us"`
+	ChunkWriteMean     int64  `json:"chunk_write_mean_us"`
+	ChunkWriteMaxUS    int64  `json:"chunk_write_max_us"`
 }
 
 func (m *metrics) snapshot() QueryStats {
@@ -166,21 +232,28 @@ func (m *metrics) snapshot() QueryStats {
 		SelectedNodes: m.selectedNodes,
 		LatencyMaxUS:  m.latencyMaxUS,
 	}
+	qs.LatencySumUS = m.latencySumUS
 	if n := m.total - m.errors; n > 0 {
 		qs.LatencyMeanUS = m.latencySumUS / int64(n)
 	}
 	qs.Streaming = StreamStats{
-		Streams:         m.streams,
-		Chunks:          m.streamChunks,
-		Nodes:           m.streamNodes,
-		FirstByteMaxUS:  m.firstByteMaxUS,
-		ChunkWriteMaxUS: m.chunkWriteMaxUS,
+		Streams:            m.streamsCompleted + m.streamsAborted,
+		Completed:          m.streamsCompleted,
+		Aborted:            m.streamsAborted,
+		AbortedHeaderWrite: m.abortHeaderWrite,
+		AbortedChunkWrite:  m.abortChunkWrite,
+		Chunks:             m.streamChunks,
+		Nodes:              m.streamNodes,
+		FirstByteSumUS:     m.firstByteSumUS,
+		FirstByteMaxUS:     m.firstByteMaxUS,
+		ChunkWriteSumUS:    m.chunkWriteSumUS,
+		ChunkWriteMaxUS:    m.chunkWriteMaxUS,
 	}
-	if m.streams > 0 {
-		qs.Streaming.FirstByteMeanUS = m.firstByteSumUS / int64(m.streams)
+	if m.streamsCompleted > 0 {
+		qs.Streaming.FirstByteMeanUS = m.firstByteSumUS / int64(m.streamsCompleted)
 	}
-	if m.streamChunks > 0 {
-		qs.Streaming.ChunkWriteMean = m.chunkWriteSumUS / int64(m.streamChunks)
+	if m.latencyChunks > 0 {
+		qs.Streaming.ChunkWriteMean = m.chunkWriteSumUS / int64(m.latencyChunks)
 	}
 	if m.byStrategy != nil {
 		qs.ByStrategy = make(map[string]uint64, len(m.byStrategy))

@@ -13,8 +13,10 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	runtimemetrics "runtime/metrics"
 	"sort"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obsv"
 	"repro/internal/qcache"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -53,6 +56,16 @@ type Options struct {
 	CacheBytesTotal int64
 	// Workers sizes the batch worker pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// SlowQuery is the flight recorder's slow-query threshold: queries
+	// at or above it are flagged in /debug/queries and logged at Warn.
+	// 0 disables slow flagging.
+	SlowQuery time.Duration
+	// FlightRecords sizes the flight recorder ring (last-N queries at
+	// /debug/queries); <= 0 means obsv.DefaultFlightRecords.
+	FlightRecords int
+	// Logger receives structured query logs (slow queries at Warn,
+	// per-query records at Debug); nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Service serves queries over the documents resident in its sharded
@@ -62,6 +75,9 @@ type Service struct {
 	shards  []*svcShard
 	budget  *qcache.Budget
 	workers int
+	flight  *obsv.Flight
+	logger  *slog.Logger
+	started time.Time
 	// allocs0 is the process's cumulative heap-allocation count when
 	// the service was built; /stats reports the delta per query as the
 	// observed steady-state allocs/op.
@@ -129,10 +145,17 @@ func New(ss *shard.Store, opts Options) *Service {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Service{
 		store:   ss,
 		budget:  qcache.NewBudget(opts.CacheBytesTotal),
 		workers: workers,
+		flight:  obsv.NewFlight(opts.FlightRecords, opts.SlowQuery),
+		logger:  logger,
+		started: time.Now(),
 		allocs0: heapAllocObjects(),
 	}
 	// Seed the generations with process entropy: cursor tokens embed
@@ -155,6 +178,10 @@ func New(ss *shard.Store, opts Options) *Service {
 // Store exposes the underlying sharded document store (loads may bypass
 // the service; engines attach lazily at first query).
 func (s *Service) Store() *shard.Store { return s.store }
+
+// Flight exposes the always-on query flight recorder (the /debug/queries
+// data source).
+func (s *Service) Flight() *obsv.Flight { return s.flight }
 
 // NumShards reports the serving partition count.
 func (s *Service) NumShards() int { return len(s.shards) }
@@ -237,6 +264,15 @@ type Request struct {
 	// was resharded and the id relocated — fails with a stale-cursor
 	// error (HTTP 410) rather than serving a page of a different tree.
 	Cursor string `json:"cursor,omitempty"`
+	// Explain asks for an EXPLAIN-ANALYZE-style profile of this query:
+	// the Response (or stream trailer) carries a span tree with
+	// per-phase timings and engine counters. The HTTP layer also sets
+	// it from ?explain=1.
+	Explain bool `json:"explain,omitempty"`
+	// RequestID tags the query in logs, flight records and explain
+	// profiles. The HTTP layer fills it (X-Request-Id or generated);
+	// it never comes from the request body.
+	RequestID string `json:"-"`
 }
 
 // Response is the outcome of one Request.
@@ -256,6 +292,9 @@ type Response struct {
 	// Next is the opaque continuation token for the next page; empty
 	// when the answer is exhausted.
 	Next string `json:"next,omitempty"`
+	// Explain is the span-tree profile, present when the request asked
+	// for one.
+	Explain *obsv.Profile `json:"explain,omitempty"`
 	// notFound / staleCursor distinguish error classes for the HTTP
 	// status mapping (404 / 410) without parsing Err text.
 	notFound    bool
@@ -271,6 +310,10 @@ type evalState struct {
 	eng   *core.Engine
 	gen   uint64
 	timer timer
+	// tr is non-nil for explained requests; root is its open
+	// whole-request span.
+	tr   *obsv.Trace
+	root int8
 }
 
 // prepare runs the shared front half of Eval and Stream: shard routing,
@@ -280,15 +323,26 @@ type evalState struct {
 // (and metrics recorded on the owning shard); on success resp carries
 // Strategy/Count/Visited.
 func (s *Service) prepare(req Request) evalState {
+	st := evalState{resp: Response{Doc: req.Doc, Query: req.Query}, timer: startTimer()}
+	if req.Explain {
+		// The trace is pooled and its methods are nil-safe, so the
+		// non-explain path pays one nil check per phase.
+		st.tr = obsv.NewTrace(true)
+		st.root = st.tr.Begin(obsv.SpanQuery)
+	}
+	sp := st.tr.Begin(obsv.SpanRoute)
 	sh := s.shardFor(req.Doc)
-	st := evalState{resp: Response{Doc: req.Doc, Query: req.Query}, sh: sh}
+	st.tr.End(sp)
+	st.sh = sh
 	strat, ok := core.ParseStrategy(req.Strategy)
 	if !ok {
 		st.resp.Err = fmt.Sprintf("unknown strategy %q", req.Strategy)
 		sh.metrics.recordError()
 		return st
 	}
+	sp = st.tr.Begin(obsv.SpanEngine)
 	eng, gen, err := sh.engine(req.Doc)
+	st.tr.End(sp)
 	if err != nil {
 		st.resp.Err = err.Error()
 		st.resp.notFound = errors.Is(err, ErrNoDocument)
@@ -298,6 +352,8 @@ func (s *Service) prepare(req Request) evalState {
 	var after tree.NodeID
 	haveAfter := false
 	if req.Cursor != "" {
+		// Error exits leave the cursor span open; Profile settles it.
+		sp = st.tr.Begin(obsv.SpanCursor)
 		cshard, cdoc, cgen, clast, err := decodeCursor(req.Cursor)
 		if err != nil {
 			st.resp.Err = err.Error()
@@ -325,9 +381,9 @@ func (s *Service) prepare(req Request) evalState {
 			return st
 		}
 		after, haveAfter = clast, true
+		st.tr.End(sp)
 	}
-	st.timer = startTimer()
-	cur, err := eng.EvalCursor(req.Query, strat)
+	cur, err := eng.EvalCursorTrace(req.Query, strat, st.tr)
 	if err != nil {
 		st.resp.ElapsedUS = st.timer.elapsedMicros()
 		st.resp.Err = err.Error()
@@ -335,7 +391,9 @@ func (s *Service) prepare(req Request) evalState {
 		return st
 	}
 	if haveAfter {
+		sp = st.tr.Begin(obsv.SpanSeek)
 		cur.SeekPast(after)
+		st.tr.End(sp)
 	}
 	st.resp.Strategy = cur.Strategy().String()
 	st.resp.Count = cur.Count()
@@ -344,12 +402,122 @@ func (s *Service) prepare(req Request) evalState {
 	return st
 }
 
+// outcomeOf classifies a finished response for the flight recorder.
+func outcomeOf(resp *Response) string {
+	switch {
+	case resp.notFound:
+		return obsv.OutcomeNotFound
+	case resp.staleCursor:
+		return obsv.OutcomeStaleCursor
+	case resp.Err != "":
+		return obsv.OutcomeError
+	}
+	return obsv.OutcomeOK
+}
+
+// explain settles the request trace into its Profile and releases the
+// trace; nil for non-explained requests. Runs once, after every phase
+// span has ended (the stream path calls it before the trailer write so
+// the profile travels in-band).
+func (s *Service) explain(st *evalState, req *Request, resp *Response) *obsv.Profile {
+	if st.tr == nil {
+		return nil
+	}
+	c := &st.tr.C
+	c.Strategy = resp.Strategy
+	c.Visited = resp.Visited
+	c.Selected = resp.Count
+	if cur := st.cur; cur != nil {
+		c.MemoEntries = cur.MemoEntries()
+		c.MemoHits = cur.MemoHits()
+		c.Jumps = cur.Jumps()
+		c.QCacheHit = cur.QCacheHit()
+		c.CtxPoolHit = cur.CtxPoolHit()
+	}
+	st.tr.End(st.root)
+	p := st.tr.Profile(req.RequestID)
+	obsv.ReleaseTrace(st.tr)
+	st.tr = nil
+	return p
+}
+
+// finish closes out one request's observability: a flight-recorder
+// entry on every exit path (success, client error, stream abort) and a
+// structured log line — slow queries at Warn, everything else at Debug.
+// outcome/errText may override the response classification (stream
+// aborts: the evaluation succeeded but the client went away).
+func (s *Service) finish(st *evalState, req *Request, resp *Response, outcome, errText string, sent int, streamed bool) {
+	if st.tr != nil {
+		// The profile was never delivered (e.g. the stream aborted
+		// before the trailer); don't leak the pooled trace.
+		obsv.ReleaseTrace(st.tr)
+		st.tr = nil
+	}
+	elapsed := resp.ElapsedUS
+	if elapsed == 0 {
+		elapsed = st.timer.elapsedMicros()
+	}
+	if errText == "" {
+		errText = resp.Err
+	}
+	rec := obsv.Record{
+		Time:      st.timer.start,
+		RequestID: req.RequestID,
+		Doc:       req.Doc,
+		Query:     req.Query,
+		Strategy:  resp.Strategy,
+		Outcome:   outcome,
+		Err:       errText,
+		ElapsedUS: elapsed,
+		Sent:      sent,
+		Count:     resp.Count,
+		Visited:   resp.Visited,
+		Streamed:  streamed,
+	}
+	if st.sh != nil {
+		rec.Shard = st.sh.index
+	}
+	if cur := st.cur; cur != nil {
+		rec.MemoHits = cur.MemoHits()
+		rec.Jumps = cur.Jumps()
+		rec.QCacheHit = cur.QCacheHit()
+		rec.CtxPoolHit = cur.CtxPoolHit()
+	}
+	slow := s.flight.Add(rec)
+	level := slog.LevelDebug
+	msg := "query"
+	if slow {
+		level, msg = slog.LevelWarn, "slow query"
+	}
+	if !s.logger.Enabled(context.Background(), level) {
+		return
+	}
+	s.logger.LogAttrs(context.Background(), level, msg,
+		slog.String("req_id", req.RequestID),
+		slog.String("doc", req.Doc),
+		slog.String("query", req.Query),
+		slog.Int("shard", rec.Shard),
+		slog.String("strategy", resp.Strategy),
+		slog.String("outcome", outcome),
+		slog.String("err", errText),
+		slog.Int64("elapsed_us", elapsed),
+		slog.Int("sent", sent),
+		slog.Int("count", resp.Count),
+		slog.Int("visited", resp.Visited),
+		slog.Bool("qcache_hit", rec.QCacheHit),
+		slog.Bool("ctx_pool_hit", rec.CtxPoolHit),
+		slog.Bool("streamed", streamed),
+	)
+}
+
 // Eval evaluates one request, returning at most Limit nodes (all
 // remaining when Limit <= 0) from the resume position, plus a Next
 // token when the answer has more pages.
 func (s *Service) Eval(req Request) Response {
 	st := s.prepare(req)
 	if st.cur == nil {
+		st.resp.Explain = s.explain(&st, &req, &st.resp)
+		s.finish(&st, &req, &st.resp, outcomeOf(&st.resp), "", 0, false)
 		return st.resp
 	}
 	// Return the evaluation context to its pool even when the page
@@ -357,6 +525,7 @@ func (s *Service) Eval(req Request) Response {
 	// (document, query) wants the warm context, not the GC.
 	defer st.cur.Close()
 	resp := st.resp
+	sp := st.tr.Begin(obsv.SpanPage)
 	limit := req.Limit
 	if limit <= 0 {
 		limit = resp.Count
@@ -381,9 +550,12 @@ func (s *Service) Eval(req Request) Response {
 			resp.Paths[i] = st.eng.Doc().Path(v)
 		}
 	}
+	st.tr.End(sp)
 	elapsed := st.timer.elapsedMicros()
 	resp.ElapsedUS = elapsed
 	st.sh.metrics.record(st.cur.Strategy(), elapsed, resp.Visited, resp.Count)
+	resp.Explain = s.explain(&st, &req, &resp)
+	s.finish(&st, &req, &resp, obsv.OutcomeOK, "", len(nodes), false)
 	return resp
 }
 
@@ -438,11 +610,13 @@ type ShardStats struct {
 	Cache        qcache.Stats `json:"cache"`
 	CacheHitRate float64      `json:"cache_hit_rate"`
 	// Lock-wait tells how long requests queued for this shard's engine
-	// table — the per-shard contention signal.
-	LockWaitMeanNS int64      `json:"lock_wait_mean_ns"`
-	LockWaitMaxNS  int64      `json:"lock_wait_max_ns"`
-	LockAcquires   uint64     `json:"lock_acquires"`
-	Queries        QueryStats `json:"queries"`
+	// table — the per-shard contention signal. The total is the exact
+	// sum behind the mean (the Prometheus exporter needs it).
+	LockWaitTotalNS int64      `json:"lock_wait_total_ns"`
+	LockWaitMeanNS  int64      `json:"lock_wait_mean_ns"`
+	LockWaitMaxNS   int64      `json:"lock_wait_max_ns"`
+	LockAcquires    uint64     `json:"lock_acquires"`
+	Queries         QueryStats `json:"queries"`
 	// Pool aggregates the evaluation-context pools of this shard's
 	// engines: hit rate is the fraction of queries served by a warm,
 	// allocation-free context, ArenaBytes the scratch memory those
@@ -510,8 +684,9 @@ func (s *Service) Stats() Stats {
 			PoolHitRate:   pool.HitRate(),
 		}
 		pool.AddTo(&out.Pool)
+		ss.LockWaitTotalNS = sh.lockWaitNS.Load()
 		if ss.LockAcquires > 0 {
-			ss.LockWaitMeanNS = sh.lockWaitNS.Load() / int64(ss.LockAcquires)
+			ss.LockWaitMeanNS = ss.LockWaitTotalNS / int64(ss.LockAcquires)
 		}
 		out.Shards = append(out.Shards, ss)
 		out.Cache.Size += cs.Size

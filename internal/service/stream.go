@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/obsv"
 	"repro/internal/tree"
 )
 
@@ -51,6 +52,10 @@ type StreamTrailer struct {
 	Cursor    string `json:"cursor,omitempty"`
 	ElapsedUS int64  `json:"elapsed_us"`
 	Err       string `json:"error,omitempty"`
+	// Explain carries the span-tree profile when the request asked for
+	// one; in a stream it rides the trailer (the header is written
+	// before the stream phase has happened).
+	Explain *obsv.Profile `json:"explain,omitempty"`
 }
 
 // Stream evaluates req and writes the answer to w as NDJSON
@@ -67,6 +72,8 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 	}
 	st := s.prepare(req)
 	if st.cur == nil {
+		st.resp.Explain = s.explain(&st, &req, &st.resp)
+		s.finish(&st, &req, &st.resp, outcomeOf(&st.resp), "", 0, true)
 		return &st.resp
 	}
 	// Recycle the evaluation context on every exit path, including
@@ -86,6 +93,7 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 		return true
 	}
 
+	spStream := st.tr.Begin(obsv.SpanStream)
 	header := StreamHeader{
 		Doc:      req.Doc,
 		Query:    req.Query,
@@ -95,10 +103,12 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 	}
 	if !writeLine(header) {
 		// Client gone before the header. The evaluation still ran, so
-		// the query counters must see it; no stream was delivered, so
-		// the streaming counters (whose means are per-stream) are not
-		// polluted with an empty one.
+		// the query counters must see it, and the stream is counted —
+		// with its abort cause — but kept out of the latency
+		// aggregates, whose means are per-completed-stream.
 		st.sh.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
+		st.sh.metrics.recordStream(abortHeaderWrite, 0, 0, 0, 0, 0)
+		s.finish(&st, &req, &st.resp, obsv.OutcomeAborted, "client gone: header write failed", 0, true)
 		return nil
 	}
 	// First byte is measured after the header's encode+write+flush: it
@@ -145,13 +155,15 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 			// completion, so it counts as a query; then account for the
 			// chunks that did go out.
 			st.sh.metrics.record(st.cur.Strategy(), st.timer.elapsedMicros(), st.resp.Visited, st.resp.Count)
-			st.sh.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+			st.sh.metrics.recordStream(abortChunkWrite, chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+			s.finish(&st, &req, &st.resp, obsv.OutcomeAborted, "client gone: chunk write failed", sent, true)
 			return nil
 		}
 		sent += n
 		chunks++
 		last = buf[n-1]
 	}
+	st.tr.End(spStream)
 	trailer := StreamTrailer{
 		Done:      true,
 		Chunks:    chunks,
@@ -161,8 +173,11 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 	if _, more := st.cur.Next(); more && sent > 0 {
 		trailer.Cursor = encodeCursor(st.sh.index, req.Doc, st.gen, last)
 	}
+	trailer.Explain = s.explain(&st, &req, &st.resp)
 	writeLine(trailer)
 	st.sh.metrics.record(st.cur.Strategy(), trailer.ElapsedUS, st.resp.Visited, st.resp.Count)
-	st.sh.metrics.recordStream(chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+	st.sh.metrics.recordStream(abortNone, chunks, sent, firstByteUS, chunkSumUS, chunkMaxUS)
+	st.resp.ElapsedUS = trailer.ElapsedUS
+	s.finish(&st, &req, &st.resp, obsv.OutcomeOK, "", sent, true)
 	return nil
 }
