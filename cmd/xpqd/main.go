@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -101,6 +102,8 @@ func main() {
 		slowQueryMS = flag.Int64("slow-query-ms", 100, "flag queries at or above this many milliseconds as slow (0 disables)")
 		flightRecs  = flag.Int("flight-records", 0, "flight recorder ring size for /debug/queries (0 = default)")
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		autoAdapt   = flag.Bool("auto-adaptive", true, "route Auto queries on observed per-shape latency (false = the paper's static count heuristic)")
+		autoEps     = flag.Float64("auto-epsilon", core.DefaultAutoEpsilon, "Auto selector exploration floor (fraction of warm decisions spent re-measuring)")
 		loads       multiFlag
 		loadBins    multiFlag
 		xmarks      multiFlag
@@ -131,6 +134,8 @@ func main() {
 		SlowQuery:       time.Duration(*slowQueryMS) * time.Millisecond,
 		FlightRecords:   *flightRecs,
 		Logger:          logger,
+		StaticAuto:      !*autoAdapt,
+		AutoEpsilon:     *autoEps,
 	})
 
 	srv := &http.Server{

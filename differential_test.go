@@ -279,3 +279,66 @@ func TestCursorPagingMatchesOneShot(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptiveAutoDifferential pins the adaptive selector's safety
+// property: whatever engine the observed-latency model routes to — and
+// it deliberately probes and explores every eligible candidate — the
+// answer must match the step-wise oracle node for node, on all fifteen
+// paper queries at every size. Epsilon is cranked high so exploration
+// (not just the initial probes) is exercised within the repeat budget,
+// and repeats guarantee every eligible candidate of every shape runs
+// at least once.
+func TestAdaptiveAutoDifferential(t *testing.T) {
+	const repeats = 9
+	sizes := diffSizes
+	if testing.Short() {
+		sizes = diffSizes[:1]
+	}
+	for _, sz := range sizes {
+		sz := sz
+		t.Run(sz.name, func(t *testing.T) {
+			t.Parallel()
+			doc := xmark.Generate(xmark.Config{Scale: sz.scale, Seed: sz.seed})
+			oracleEng := core.New(doc)
+			eng := core.New(doc)
+			eng.ConfigureAuto(core.AutoConfig{Adaptive: true, Epsilon: 0.34}) // explore every ~3rd warm decision
+			for _, q := range xmark.Queries() {
+				want, err := oracleEng.QueryWith(q.XPath, core.Stepwise)
+				if err != nil {
+					t.Fatalf("%s: stepwise oracle: %v", q.ID, err)
+				}
+				seen := map[core.Strategy]bool{}
+				for i := 0; i < repeats; i++ {
+					ans, err := eng.QueryWith(q.XPath, core.Auto)
+					if err != nil {
+						t.Fatalf("%s repeat %d: adaptive Auto: %v", q.ID, i, err)
+					}
+					seen[ans.Strategy] = true
+					if !equalNodes(ans.Nodes, want.Nodes) {
+						t.Fatalf("%s repeat %d: adaptive Auto via %v gave %d nodes, oracle %d",
+							q.ID, i, ans.Strategy, len(ans.Nodes), len(want.Nodes))
+					}
+					// The cursor path under the same churning model.
+					cur, err := eng.EvalCursor(q.XPath, core.Auto)
+					if err != nil {
+						t.Fatalf("%s repeat %d: adaptive Auto cursor: %v", q.ID, i, err)
+					}
+					if got := collectCursor(t, cur, q.ID); !equalNodes(got, want.Nodes) {
+						t.Fatalf("%s repeat %d: adaptive Auto cursor via %v gave %d nodes, oracle %d",
+							q.ID, i, cur.Strategy(), len(got), len(want.Nodes))
+					}
+				}
+				// Multi-candidate shapes must actually have tried more
+				// than one engine across the probe/explore schedule —
+				// otherwise this differential proves less than it claims.
+				if q.ID == "Q01" && len(seen) < 2 {
+					t.Errorf("%s: adaptive Auto only ever ran %v; probing is not happening", q.ID, seen)
+				}
+			}
+			s := eng.SelectorStats()
+			if s.Observations == 0 || s.Shapes == 0 {
+				t.Fatalf("selector saw no feedback: %+v", s)
+			}
+		})
+	}
+}

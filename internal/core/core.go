@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/asta"
+	"repro/internal/hybrid"
 	"repro/internal/index"
 	"repro/internal/qcache"
 	"repro/internal/tree"
@@ -50,6 +51,11 @@ const (
 	// Stepwise is the Koch/Gottlob-style baseline (the MonetDB stand-in
 	// of Appendix D).
 	Stepwise
+	// EmptyChain is an outcome, not a forceable strategy: Auto proved
+	// from the index that a chain label does not occur in the document,
+	// so the answer is empty and no engine ran at all. ParseStrategy
+	// rejects it.
+	EmptyChain
 )
 
 func (s Strategy) String() string {
@@ -70,6 +76,8 @@ func (s Strategy) String() string {
 		return "topdown-det"
 	case Stepwise:
 		return "stepwise"
+	case EmptyChain:
+		return "empty-chain"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
@@ -99,10 +107,18 @@ func ParseStrategy(name string) (Strategy, bool) {
 	return Auto, false
 }
 
-// hybridCountFraction: Auto uses the hybrid run when the cheapest chain
-// label's count is below this fraction of the most frequent one — the
-// "one of the labels in the query has a low count" condition of §5.
+// hybridCountFraction: the §5 condition — use the hybrid run when the
+// cheapest chain label's count is below this fraction of the most
+// frequent one ("one of the labels in the query has a low count").
+// With the adaptive selector this constant is only the cold-start and
+// -auto-adaptive=false behavior; warm shapes route on observed
+// latency (see selector.go).
 const hybridCountFraction = 0.05
+
+// hybridEval is the hybrid engine entry point, indirect so tests can
+// inject failures into Auto's speculative hybrid attempt (the
+// error-surfacing contract of autoCursor).
+var hybridEval = hybrid.Eval
 
 // Engine evaluates queries over one document. It is safe for concurrent
 // use: the document and index are immutable and the compiled-query cache
@@ -122,6 +138,11 @@ type Engine struct {
 	// stamped with this engine's process-unique generation (see
 	// ctxpool.go for the leak-containment invariant).
 	pool *ctxPool
+
+	// auto is the observed-latency Auto selector (selector.go). Per
+	// engine — and the service builds one engine per (document,
+	// generation) — so estimates are implicitly generation-scoped.
+	auto *selector
 }
 
 // New builds the engine, its index, and a private bounded query cache.
@@ -138,8 +159,21 @@ func NewWithCache(d *tree.Document, c *qcache.Cache, keyPrefix string) *Engine {
 // NewWithIndex is NewWithCache for a document whose index is already
 // built (the document store builds the index once at load time).
 func NewWithIndex(d *tree.Document, ix *index.Index, c *qcache.Cache, keyPrefix string) *Engine {
-	return &Engine{doc: d, ix: ix, cache: c, keyPrefix: keyPrefix, pool: newCtxPool()}
+	return &Engine{doc: d, ix: ix, cache: c, keyPrefix: keyPrefix,
+		pool: newCtxPool(), auto: newSelector(DefaultAutoConfig())}
 }
+
+// ConfigureAuto replaces the Auto selector configuration, resetting
+// its learned state. Call before serving traffic (the selector swap is
+// not synchronized against in-flight Auto evaluations).
+func (e *Engine) ConfigureAuto(cfg AutoConfig) {
+	e.auto = newSelector(cfg)
+}
+
+// SelectorStats snapshots the Auto selector: shapes tracked, wins per
+// strategy, exploration rate, estimate error, and the per-shape
+// candidate tables.
+func (e *Engine) SelectorStats() SelectorStats { return e.auto.stats() }
 
 // PoolStats reports the engine's evaluation-context pool counters: the
 // steady-state signal for whether repeated queries are hitting warm

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/asta"
 	"repro/internal/compile"
@@ -40,6 +41,19 @@ type Cursor struct {
 	jumps     int
 	poolHit   bool
 	qcacheHit bool
+
+	// Auto-selector feedback (Auto evaluations only): the decision is
+	// credited with the cursor's full lifetime cost at the first of
+	// Close/materialize/exhaustion — paged and streamed evaluations
+	// report end-to-end cost, not just the eval call. sel doubles as
+	// the once-guard (nilled after observing). autoShape/autoReason
+	// attribute the decision for explain profiles and flight records.
+	sel        *selector
+	shapeRef   *shapeStats
+	obsSlot    int8
+	obsStart   time.Time
+	autoShape  string
+	autoReason string
 
 	// release returns the evaluation context backing rope to its pool;
 	// nil for slice-backed cursors and after the first release.
@@ -133,10 +147,13 @@ func (c *Cursor) ensure() {
 }
 
 // Close returns the cursor's evaluation context to the engine's pool
-// without consuming the rest of the answer. It is idempotent, runs
-// implicitly on exhaustion and materialization, and leaves the cursor
-// in the exhausted state (Count stays valid; Next reports done).
+// without consuming the rest of the answer, and — for Auto
+// evaluations — reports the observed cost back to the selector. It is
+// idempotent, runs implicitly on exhaustion and materialization, and
+// leaves the cursor in the exhausted state (Count stays valid; Next
+// reports done).
 func (c *Cursor) Close() {
+	c.finishObs()
 	if c.release == nil {
 		return
 	}
@@ -166,6 +183,19 @@ func (c *Cursor) doRelease() {
 	}
 }
 
+// finishObs reports the completed evaluation to the Auto selector
+// exactly once: elapsed wall time since the decision plus the visited
+// count, credited to the candidate the decision picked. No-op for
+// forced strategies (sel is nil) and after the first report.
+func (c *Cursor) finishObs() {
+	if c.sel == nil {
+		return
+	}
+	sel := c.sel
+	c.sel = nil
+	sel.observe(c.shapeRef, int(c.obsSlot), time.Since(c.obsStart), c.visited)
+}
+
 // Strategy is the strategy that actually ran (never Auto).
 func (c *Cursor) Strategy() Strategy { return c.strategy }
 
@@ -190,6 +220,14 @@ func (c *Cursor) CtxPoolHit() bool { return c.poolHit }
 // compiled-query cache rather than being compiled for this run. It is
 // false for strategies that compile nothing (stepwise, hybrid).
 func (c *Cursor) QCacheHit() bool { return c.qcacheHit }
+
+// AutoShape is the canonical query shape the Auto selector keyed this
+// evaluation by; empty for forced strategies.
+func (c *Cursor) AutoShape() string { return c.autoShape }
+
+// AutoReason is why the Auto selector picked this cursor's strategy
+// (one of the Reason* constants); empty for forced strategies.
+func (c *Cursor) AutoReason() string { return c.autoReason }
 
 // Count returns the full answer cardinality, independent of the read
 // position. Rope-backed cursors read it from the rope's cached
@@ -287,6 +325,7 @@ func (c *Cursor) materialize() *Answer {
 		c.ready = true
 		c.doRelease()
 	}
+	c.finishObs()
 	return &Answer{
 		Nodes:       nodes,
 		Strategy:    c.strategy,
@@ -318,46 +357,84 @@ func (e *Engine) EvalCursorTrace(query string, s Strategy, tr *obsv.Trace) (*Cur
 	return e.evalCursor(query, p, s, tr)
 }
 
+// Run-span annotations: which engine a `run` span timed and how it
+// ended. Precomputed constants indexed by strategy so annotating on
+// the hot path allocates nothing; the explain satellite's contract is
+// that a profile with several run spans (a failed speculative attempt
+// next to the engine that answered) is unambiguous.
+var (
+	runSpanOK = [...]string{
+		Naive:      "strategy=naive outcome=ok",
+		Jumping:    "strategy=jumping outcome=ok",
+		Memoized:   "strategy=memoized outcome=ok",
+		Optimized:  "strategy=optimized outcome=ok",
+		Hybrid:     "strategy=hybrid outcome=ok",
+		TopDownDet: "strategy=topdown-det outcome=ok",
+		Stepwise:   "strategy=stepwise outcome=ok",
+	}
+	runSpanFailed = [...]string{
+		Hybrid:     "strategy=hybrid outcome=failed",
+		TopDownDet: "strategy=topdown-det outcome=failed",
+	}
+)
+
 func (e *Engine) evalCursor(query string, p *xpath.Path, s Strategy, tr *obsv.Trace) (*Cursor, error) {
 	switch s {
 	case Stepwise:
-		sp := tr.Begin(obsv.SpanRun)
-		res := stepwise.Eval(e.doc, p, stepwise.Default())
-		tr.End(sp)
-		return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
+		return e.stepwiseCursor(p, tr), nil
 	case Hybrid:
 		sp := tr.Begin(obsv.SpanRun)
-		res, err := hybrid.Eval(e.doc, e.ix, p)
-		tr.End(sp)
+		res, err := hybridEval(e.doc, e.ix, p)
 		if err != nil {
+			tr.Annotate(sp, runSpanFailed[Hybrid])
+			tr.End(sp)
 			return nil, err
 		}
+		tr.Annotate(sp, runSpanOK[Hybrid])
+		tr.End(sp)
 		return newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0), nil
 	case TopDownDet:
-		sp := tr.Begin(obsv.SpanCompile)
-		v, hit, err := e.cache.GetOrCompile(e.cacheKey("tdsta", query), func() (any, error) {
-			aut, err := compile.ToTDSTA(p, e.doc.Names())
-			if err != nil {
-				return nil, err
-			}
-			return aut.MinimizeTopDown(), nil
-		})
-		tr.End(sp)
-		if err != nil {
-			return nil, err
-		}
-		sp = tr.Begin(obsv.SpanRun)
-		res := v.(*sta.STA).EvalTopDownJump(e.doc, e.ix)
-		tr.End(sp)
-		c := newSliceCursor(res.Selected, TopDownDet, res.Visited, 0)
-		c.qcacheHit = hit
-		return c, nil
+		return e.tdstaCursor(query, p, tr)
 	case Naive, Jumping, Memoized, Optimized:
 		return e.astaCursor(query, p, s, tr)
 	case Auto:
 		return e.autoCursor(query, p, tr)
 	}
 	return nil, fmt.Errorf("core: unknown strategy %v", s)
+}
+
+// stepwiseCursor runs the step-wise baseline (it cannot fail: the
+// full XPath subset of the parser is supported).
+func (e *Engine) stepwiseCursor(p *xpath.Path, tr *obsv.Trace) *Cursor {
+	sp := tr.Begin(obsv.SpanRun)
+	res := stepwise.Eval(e.doc, p, stepwise.Default())
+	tr.Annotate(sp, runSpanOK[Stepwise])
+	tr.End(sp)
+	return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0)
+}
+
+// tdstaCursor compiles (through the query cache) and runs the
+// minimized deterministic TDSTA with topdown_jump.
+func (e *Engine) tdstaCursor(query string, p *xpath.Path, tr *obsv.Trace) (*Cursor, error) {
+	sp := tr.Begin(obsv.SpanCompile)
+	v, hit, err := e.cache.GetOrCompile(e.cacheKey("tdsta", query), func() (any, error) {
+		aut, err := compile.ToTDSTA(p, e.doc.Names())
+		if err != nil {
+			return nil, err
+		}
+		return aut.MinimizeTopDown(), nil
+	})
+	tr.End(sp)
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.Begin(obsv.SpanRun)
+	res := v.(*sta.STA).EvalTopDownJump(e.doc, e.ix)
+	tr.Annotate(sp, runSpanOK[TopDownDet])
+	tr.End(sp)
+	c := newSliceCursor(res.Selected, TopDownDet, res.Visited, 0)
+	c.qcacheHit = hit
+	return c, nil
 }
 
 // astaCursor runs the ASTA evaluator lazily and wraps the result rope:
@@ -380,6 +457,7 @@ func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy, tr *obsv.Tr
 	pc, warm := e.pool.checkout(key)
 	sp = tr.Begin(obsv.SpanRun)
 	res := aut.EvalLazyCtx(pc.ctx, e.doc, e.ix, key.opt)
+	tr.Annotate(sp, runSpanOK[s])
 	tr.End(sp)
 	var c *Cursor
 	if res.List == nil {
@@ -397,24 +475,92 @@ func (e *Engine) astaCursor(query string, p *xpath.Path, s Strategy, tr *obsv.Tr
 }
 
 // autoCursor implements the Auto strategy (QueryWith's Auto is this
-// same code path): hybrid when a chain label is rare, the optimized
-// ASTA evaluator otherwise, and the step-wise engine only for queries
-// the automata fragment cannot express (compile.ErrUnsupported —
-// backward axes, text functions, §6's black-box handling). Any other
-// failure surfaces instead of silently degrading to a different
-// engine.
+// same code path): the observed-latency selector (selector.go) routes
+// each canonical query shape to Hybrid, TopDownDet or Optimized —
+// cold shapes fall back to the paper's §5 count heuristic — and the
+// step-wise engine runs only for queries the automata fragment cannot
+// express (compile.ErrUnsupported — backward axes, text functions,
+// §6's black-box handling). A chain whose rarest label is absent from
+// the document short-circuits to an empty answer without running any
+// engine. Genuine evaluation failures surface instead of silently
+// degrading to a different engine; only fragment mismatches on a
+// speculative Hybrid/TDSTA attempt degrade to Optimized, with the
+// failed attempt's run span annotated as such. The cursor reports the
+// decision's observed cost back to the selector when it closes.
 func (e *Engine) autoCursor(query string, p *xpath.Path, tr *obsv.Trace) (*Cursor, error) {
+	sel := e.auto
 	sp := tr.Begin(obsv.SpanSelect)
-	min, max, chain := e.chainCounts(p)
+	st := sel.shapeFor(query, p, e)
+	d := sel.decide(st)
+	if tr.Detail() {
+		tr.Annotate(sp, sel.explain(st, d))
+	}
 	tr.End(sp)
-	if chain && max > 0 && float64(min) <= hybridCountFraction*float64(max) {
+
+	if d.strategy == EmptyChain {
+		// Proven empty from the index alone: no engine, no visited
+		// nodes, no feedback (a zero-cost non-run must not pollute any
+		// candidate's estimate).
+		c := newSliceCursor(nil, EmptyChain, 0, 0)
+		c.autoShape, c.autoReason = st.shape, d.reason
+		return c, nil
+	}
+
+	start := time.Now()
+	var c *Cursor
+	switch d.strategy {
+	case Hybrid:
 		sp = tr.Begin(obsv.SpanRun)
-		res, err := hybrid.Eval(e.doc, e.ix, p)
-		tr.End(sp)
-		if err == nil {
-			return newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0), nil
+		res, err := hybridEval(e.doc, e.ix, p)
+		if err != nil {
+			tr.Annotate(sp, runSpanFailed[Hybrid])
+			tr.End(sp)
+			if !errors.Is(err, hybrid.ErrUnsupported) {
+				// A genuine evaluation failure — not a fragment
+				// mismatch — surfaces. (This was the silent-swallow
+				// bug: every hybrid error used to degrade to
+				// Optimized.)
+				return nil, err
+			}
+			// Fragment mismatch on the speculative attempt: evaluate
+			// like a non-chain query.
+			var aerr error
+			if c, aerr = e.astaOrStepwise(query, p, tr); aerr != nil {
+				return nil, aerr
+			}
+		} else {
+			tr.Annotate(sp, runSpanOK[Hybrid])
+			tr.End(sp)
+			c = newSliceCursor(res.Selected, Hybrid, res.Stats.Visited, 0)
+		}
+	case TopDownDet:
+		tc, err := e.tdstaCursor(query, p, tr)
+		if err != nil {
+			// The selector pre-checked the fragment, so this is a
+			// compile-level mismatch (eligibility probe out of sync
+			// with the compiler); degrade to Optimized rather than
+			// failing a query Auto promised to answer.
+			if c, err = e.astaOrStepwise(query, p, tr); err != nil {
+				return nil, err
+			}
+		} else {
+			c = tc
+		}
+	default:
+		var err error
+		if c, err = e.astaOrStepwise(query, p, tr); err != nil {
+			return nil, err
 		}
 	}
+	c.sel, c.shapeRef, c.obsSlot, c.obsStart = sel, st, int8(d.slot), start
+	c.autoShape, c.autoReason = st.shape, d.reason
+	return c, nil
+}
+
+// astaOrStepwise is Auto's default engine: the optimized ASTA
+// evaluator, with the step-wise baseline only for queries outside the
+// automata fragment (compile.ErrUnsupported). Other failures surface.
+func (e *Engine) astaOrStepwise(query string, p *xpath.Path, tr *obsv.Trace) (*Cursor, error) {
 	c, err := e.astaCursor(query, p, Optimized, tr)
 	if err == nil {
 		return c, nil
@@ -422,8 +568,5 @@ func (e *Engine) autoCursor(query string, p *xpath.Path, tr *obsv.Trace) (*Curso
 	if !errors.Is(err, compile.ErrUnsupported) {
 		return nil, err
 	}
-	sp = tr.Begin(obsv.SpanRun)
-	res := stepwise.Eval(e.doc, p, stepwise.Default())
-	tr.End(sp)
-	return newSliceCursor(res.Selected, Stepwise, res.Stats.Visited, 0), nil
+	return e.stepwiseCursor(p, tr), nil
 }

@@ -1,0 +1,568 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xpath"
+)
+
+// This file is the observed-latency Auto selector: the replacement for
+// driving every Auto decision off the single §5 constant. The paper's
+// heuristic ("use the hybrid run when one label in the query has a low
+// count") is a fine cold-start rule, but it is blind to what the
+// machine actually measures — and Auto historically never even
+// considered the TDSTA engine for restricted-fragment queries. The
+// selector keys observations by canonical query *shape* (the
+// normalized step/axis/label skeleton, i.e. the parsed path printed
+// back), keeps an EWMA of observed latency and visited counts per
+// eligible strategy, and picks the argmin with a deterministic
+// epsilon-greedy exploration cadence so estimates never go stale.
+// Decisions and feedback are tiny and allocation-free on the warm
+// path: one lock-free map hit, one mutex'd argmin over at most three
+// candidates, and one EWMA store at cursor close.
+//
+// A selector belongs to one Engine. The service builds a fresh engine
+// per (document, generation), so shape keys are implicitly scoped to
+// the document generation — a reloaded document starts cold, exactly
+// as the stale-estimate story requires. The design follows
+// janus-datalog's statistics-free planner argument: a tiny,
+// explainable online model per shape ("which strategy won and why" is
+// always reportable) beats both a static constant and an opaque
+// global regression.
+
+// DefaultAutoEpsilon is the default exploration floor: roughly one in
+// 1/epsilon warm decisions per shape re-measures a non-best candidate.
+const DefaultAutoEpsilon = 0.05
+
+// exploreLatencyBound caps how much slower (by EWMA estimate) than the
+// incumbent best a candidate may be and still earn exploration ticks.
+// Within the bound a candidate is plausibly competitive and gets
+// re-measured; past it, exploration would just periodically re-run a
+// known-bad engine.
+const exploreLatencyBound = 8
+
+// ewmaAlpha weights new observations; 0.25 converges in a handful of
+// runs while still smoothing scheduler noise.
+const ewmaAlpha = 0.25
+
+// AutoConfig configures the Auto selector.
+type AutoConfig struct {
+	// Adaptive enables the observed-latency model. When false the
+	// selector still tracks shapes and observations (so /stats and the
+	// short-circuit bugfixes work identically) but every decision is
+	// the paper's §5 static heuristic.
+	Adaptive bool
+	// Epsilon is the exploration floor in (0,1); <=0 disables
+	// exploration (pure exploitation after the initial probes).
+	Epsilon float64
+}
+
+// DefaultAutoConfig is the daemon default: adaptive, with the standard
+// exploration floor.
+func DefaultAutoConfig() AutoConfig {
+	return AutoConfig{Adaptive: true, Epsilon: DefaultAutoEpsilon}
+}
+
+// Candidate slots. A dense array indexed by slot keeps the per-shape
+// state flat and the decision loop branch-predictable.
+const (
+	slotOptimized = iota // ASTA "Opt. Eval." (always eligible; stepwise fallback rides here)
+	slotHybrid           // start-anywhere run (§4.4), chain queries only
+	slotTDSTA            // minimized deterministic TDSTA + topdown_jump, restricted fragment only
+	numSlots
+)
+
+// slotStrategy maps a candidate slot to the strategy Auto dispatches.
+var slotStrategy = [numSlots]Strategy{Optimized, Hybrid, TopDownDet}
+
+// Decision reasons, reported in explain profiles, /stats and the
+// flight recorder. Constants so attaching one to a decision never
+// allocates.
+const (
+	// ReasonStatic: adaptive mode off; the §5 count heuristic decided.
+	ReasonStatic = "static-heuristic"
+	// ReasonShortCircuit: a chain label is absent from the document, so
+	// the answer is empty by construction — no engine runs at all.
+	ReasonShortCircuit = "absent-chain-label"
+	// ReasonCold: no candidate has been measured yet; the §5 heuristic
+	// decides until observations arrive.
+	ReasonCold = "cold-heuristic"
+	// ReasonProbe: some candidate has never been measured; it runs once
+	// so the argmin compares real numbers, not guesses.
+	ReasonProbe = "probe-unmeasured"
+	// ReasonExplore: the epsilon cadence fired; the least-observed
+	// non-best candidate re-measures so estimates cannot go stale.
+	ReasonExplore = "explore"
+	// ReasonExploit: the candidate with the lowest EWMA observed
+	// latency won.
+	ReasonExploit = "min-ewma-latency"
+	// ReasonOnly: only one strategy is eligible for this shape.
+	ReasonOnly = "single-candidate"
+)
+
+// ewma is one candidate's running estimate.
+type ewma struct {
+	n         uint64  // observations folded in
+	latencyNS float64 // EWMA of observed end-to-end latency
+	visited   float64 // EWMA of nodes visited
+}
+
+func (w *ewma) add(latencyNS float64, visited int) {
+	if w.n == 0 {
+		w.latencyNS = latencyNS
+		w.visited = float64(visited)
+	} else {
+		w.latencyNS += ewmaAlpha * (latencyNS - w.latencyNS)
+		w.visited += ewmaAlpha * (float64(visited) - w.visited)
+	}
+	w.n++
+}
+
+// shapeStats is the selector's per-shape state. The immutable facts
+// (shape string, chain-fragment membership, label counts, eligibility
+// mask) are computed once at first sight; the mutable model lives
+// behind mu.
+type shapeStats struct {
+	shape string
+	// chain: inside the hybrid chain fragment. absent: chain whose
+	// rarest label does not occur in the document (the answer is empty
+	// by construction). minCount/maxCount: the §5 probe, cached because
+	// the document is immutable for the engine's lifetime.
+	chain    bool
+	absent   bool
+	minCount int
+	maxCount int
+	eligible [numSlots]bool
+
+	mu sync.Mutex
+	// n counts decisions (drives the deterministic exploration
+	// cadence); est/wins are per-candidate model state.
+	n          uint64
+	est        [numSlots]ewma
+	wins       [numSlots]uint64
+	lastPick   Strategy
+	lastReason string
+	// Estimate-quality accounting: |observed-estimated|/observed summed
+	// over observations that had a prior estimate to be wrong about.
+	errRelSum float64
+	errCount  uint64
+}
+
+// autoDecision is one routing decision: the strategy to dispatch, the
+// slot feedback should credit, and the (constant) reason string.
+type autoDecision struct {
+	strategy Strategy
+	slot     int
+	reason   string
+}
+
+// selector is the per-engine Auto decision state.
+type selector struct {
+	cfg AutoConfig
+	// period is the exploration cadence derived from Epsilon
+	// (~round(1/epsilon) decisions per exploration); 0 disables it.
+	period uint64
+
+	// byQuery short-circuits raw query text to its shape state so the
+	// warm path never re-canonicalizes; byShape is the canonical table
+	// (several query spellings can share one shape).
+	byQuery sync.Map // string -> *shapeStats
+	mu      sync.Mutex
+	byShape map[string]*shapeStats
+
+	decisions     atomic.Uint64
+	explorations  atomic.Uint64
+	shortCircuits atomic.Uint64
+	observations  atomic.Uint64
+}
+
+func newSelector(cfg AutoConfig) *selector {
+	sel := &selector{cfg: cfg, byShape: make(map[string]*shapeStats)}
+	if cfg.Epsilon > 0 {
+		p := uint64(1/cfg.Epsilon + 0.5)
+		if p < 2 {
+			p = 2
+		}
+		sel.period = p
+	}
+	return sel
+}
+
+// shapeFor resolves a query to its shape state, creating it on first
+// sight. The fast path is one lock-free sync.Map hit keyed by the raw
+// query text.
+func (sel *selector) shapeFor(query string, p *xpath.Path, e *Engine) *shapeStats {
+	if v, ok := sel.byQuery.Load(query); ok {
+		return v.(*shapeStats)
+	}
+	shape := p.String()
+	sel.mu.Lock()
+	st, ok := sel.byShape[shape]
+	if !ok {
+		min, max, chain := e.chainCounts(p)
+		st = &shapeStats{
+			shape:    shape,
+			chain:    chain,
+			absent:   chain && min == 0,
+			minCount: min,
+			maxCount: max,
+		}
+		st.eligible[slotOptimized] = true
+		st.eligible[slotHybrid] = chain && !st.absent
+		st.eligible[slotTDSTA] = tdstaEligible(p)
+		sel.byShape[shape] = st
+	}
+	sel.mu.Unlock()
+	sel.byQuery.Store(query, st)
+	return st
+}
+
+// staticPick is the paper's §5 heuristic: hybrid when the rarest chain
+// label's count is below hybridCountFraction of the most frequent
+// one's, optimized otherwise. It is both the Adaptive=false behavior
+// and the cold-key fallback.
+func (st *shapeStats) staticPick() autoDecision {
+	if st.chain && st.maxCount > 0 &&
+		float64(st.minCount) <= hybridCountFraction*float64(st.maxCount) {
+		return autoDecision{strategy: Hybrid, slot: slotHybrid}
+	}
+	return autoDecision{strategy: Optimized, slot: slotOptimized}
+}
+
+// decide picks the strategy for one Auto evaluation of shape st.
+func (sel *selector) decide(st *shapeStats) autoDecision {
+	sel.decisions.Add(1)
+	if st.absent {
+		// A chain with an absent label selects nothing: answer empty
+		// without running any engine, and report it as a distinct
+		// zero-cost outcome so it cannot pollute the Hybrid estimates.
+		sel.shortCircuits.Add(1)
+		st.mu.Lock()
+		st.n++
+		st.lastPick, st.lastReason = EmptyChain, ReasonShortCircuit
+		st.mu.Unlock()
+		return autoDecision{strategy: EmptyChain, slot: -1, reason: ReasonShortCircuit}
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.n++
+
+	var d autoDecision
+	switch {
+	case !sel.cfg.Adaptive:
+		d = st.staticPick()
+		d.reason = ReasonStatic
+	default:
+		d = st.adaptivePick(sel)
+	}
+	if d.reason == ReasonExplore {
+		sel.explorations.Add(1)
+	}
+	st.wins[d.slot]++
+	st.lastPick, st.lastReason = d.strategy, d.reason
+	return d
+}
+
+// adaptivePick is the observed-latency model. Caller holds st.mu.
+func (st *shapeStats) adaptivePick(sel *selector) autoDecision {
+	// Candidate census: how many strategies could serve this shape, and
+	// which of them have never been measured.
+	nElig, nMeasured := 0, 0
+	firstUnmeasured, only := -1, -1
+	for s := 0; s < numSlots; s++ {
+		if !st.eligible[s] {
+			continue
+		}
+		nElig++
+		only = s
+		if st.est[s].n > 0 {
+			nMeasured++
+		} else if firstUnmeasured < 0 {
+			firstUnmeasured = s
+		}
+	}
+	if nElig == 1 {
+		return autoDecision{strategy: slotStrategy[only], slot: only, reason: ReasonOnly}
+	}
+	if nMeasured == 0 {
+		// Nothing observed yet: the paper's heuristic decides, and its
+		// run becomes the first observation.
+		d := st.staticPick()
+		d.reason = ReasonCold
+		return d
+	}
+	if firstUnmeasured >= 0 {
+		// Measure every candidate once before trusting any argmin.
+		return autoDecision{strategy: slotStrategy[firstUnmeasured], slot: firstUnmeasured, reason: ReasonProbe}
+	}
+	best := st.argminLatency()
+	if sel.period > 0 && st.n%sel.period == 0 {
+		// Exploration tick: re-measure the least-observed non-best
+		// candidate. Deterministic (a counter, not a RNG) so decisions
+		// replay exactly and stay explainable. Candidates already
+		// measured hopelessly slower than the incumbent are not worth
+		// the tax (re-running a 200x-slower engine every Nth query
+		// would dominate the shape's cost); they get their retry when
+		// the document generation — and with it the selector — turns
+		// over.
+		bound := exploreLatencyBound * st.est[best].latencyNS
+		probe := -1
+		for s := 0; s < numSlots; s++ {
+			if !st.eligible[s] || s == best || st.est[s].latencyNS > bound {
+				continue
+			}
+			if probe < 0 || st.est[s].n < st.est[probe].n {
+				probe = s
+			}
+		}
+		if probe >= 0 {
+			return autoDecision{strategy: slotStrategy[probe], slot: probe, reason: ReasonExplore}
+		}
+	}
+	return autoDecision{strategy: slotStrategy[best], slot: best, reason: ReasonExploit}
+}
+
+// argminLatency returns the eligible slot with the lowest EWMA
+// latency. Caller holds st.mu; every eligible slot has n>0.
+func (st *shapeStats) argminLatency() int {
+	best := -1
+	for s := 0; s < numSlots; s++ {
+		if !st.eligible[s] {
+			continue
+		}
+		if best < 0 || st.est[s].latencyNS < st.est[best].latencyNS {
+			best = s
+		}
+	}
+	return best
+}
+
+// observe folds one completed evaluation back into the model. It runs
+// at cursor close (so paged and streamed evaluations report their full
+// cost), in both adaptive and static mode — static mode keeps the
+// table warm so flipping -auto-adaptive on mid-flight starts informed,
+// and both modes pay identical bookkeeping (the benchmark gate
+// compares pure decision quality).
+func (sel *selector) observe(st *shapeStats, slot int, elapsed time.Duration, visited int) {
+	if st == nil || slot < 0 || slot >= numSlots {
+		return
+	}
+	sel.observations.Add(1)
+	lat := float64(elapsed)
+	st.mu.Lock()
+	w := &st.est[slot]
+	if w.n > 0 && lat > 0 {
+		diff := w.latencyNS - lat
+		if diff < 0 {
+			diff = -diff
+		}
+		st.errRelSum += diff / lat
+		st.errCount++
+	}
+	w.add(lat, visited)
+	st.mu.Unlock()
+}
+
+// explain renders one decision with its candidate estimates for the
+// ?explain=1 select span. Detail path only — it allocates.
+func (sel *selector) explain(st *shapeStats, d autoDecision) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "auto shape=%s pick=%s reason=%s", st.shape, d.strategy, d.reason)
+	if d.strategy == EmptyChain {
+		fmt.Fprintf(&b, " min_count=0 max_count=%d", st.maxCount)
+		return b.String()
+	}
+	st.mu.Lock()
+	for s := 0; s < numSlots; s++ {
+		if !st.eligible[s] {
+			continue
+		}
+		w := st.est[s]
+		if w.n == 0 {
+			fmt.Fprintf(&b, " %s=unmeasured", slotStrategy[s])
+		} else {
+			fmt.Fprintf(&b, " %s=%.0fus/n%d", slotStrategy[s], w.latencyNS/1e3, w.n)
+		}
+	}
+	st.mu.Unlock()
+	if st.chain {
+		fmt.Fprintf(&b, " min_count=%d max_count=%d", st.minCount, st.maxCount)
+	}
+	return b.String()
+}
+
+// tdstaEligible mirrors compile.ToTDSTA's fragment check (absolute
+// path, child/descendant axes with name or * tests, no predicates, no
+// child step after a descendant step) without building the automaton,
+// so the selector knows the candidate set before any compilation.
+func tdstaEligible(p *xpath.Path) bool {
+	if !p.Absolute || len(p.Steps) == 0 {
+		return false
+	}
+	seenDesc := false
+	for _, st := range p.Steps {
+		if st.Axis != xpath.Child && st.Axis != xpath.Descendant {
+			return false
+		}
+		if st.Test.Kind != xpath.TestName && st.Test.Kind != xpath.TestStar {
+			return false
+		}
+		if len(st.Preds) > 0 {
+			return false
+		}
+		if st.Axis == xpath.Descendant {
+			seenDesc = true
+		} else if seenDesc {
+			return false
+		}
+	}
+	return true
+}
+
+// AutoCandidate is one strategy's model state for a shape, as reported
+// in SelectorStats.
+type AutoCandidate struct {
+	Strategy      string  `json:"strategy"`
+	Observations  uint64  `json:"observations"`
+	EWMALatencyUS float64 `json:"ewma_latency_us"`
+	EWMAVisited   float64 `json:"ewma_visited"`
+	Wins          uint64  `json:"wins"`
+}
+
+// AutoShape is one tracked query shape: who has been winning and why.
+type AutoShape struct {
+	Shape        string          `json:"shape"`
+	Decisions    uint64          `json:"decisions"`
+	LastStrategy string          `json:"last_strategy"`
+	LastReason   string          `json:"last_reason"`
+	Candidates   []AutoCandidate `json:"candidates"`
+}
+
+// SelectorStats is the Auto selector's observable state: the /stats
+// payload and the source of the xpqd_auto_* Prometheus families.
+type SelectorStats struct {
+	Adaptive      bool    `json:"adaptive"`
+	Epsilon       float64 `json:"epsilon"`
+	Shapes        int     `json:"shapes"`
+	Decisions     uint64  `json:"decisions"`
+	Explorations  uint64  `json:"explorations"`
+	ShortCircuits uint64  `json:"short_circuits"`
+	Observations  uint64  `json:"observations"`
+	// ExplorationRate = Explorations/Decisions; EstimateErrorPct is the
+	// mean |observed-estimated|/observed latency error, in percent —
+	// how honest the model's numbers are.
+	ExplorationRate  float64           `json:"exploration_rate"`
+	EstimateErrorPct float64           `json:"estimate_error_pct"`
+	WinsByStrategy   map[string]uint64 `json:"wins_by_strategy,omitempty"`
+	// TopShapes lists the most-decided shapes (capped) with their
+	// per-candidate estimates.
+	TopShapes []AutoShape `json:"top_shapes,omitempty"`
+
+	// Raw accumulators for cross-shard aggregation (AddTo + Finalize).
+	ErrRelSum float64 `json:"-"`
+	ErrCount  uint64  `json:"-"`
+}
+
+// maxTopShapes caps the per-snapshot shape table so /stats stays
+// bounded on adversarial query streams.
+const maxTopShapes = 16
+
+// stats snapshots the selector.
+func (sel *selector) stats() SelectorStats {
+	s := SelectorStats{
+		Adaptive:       sel.cfg.Adaptive,
+		Epsilon:        sel.cfg.Epsilon,
+		Decisions:      sel.decisions.Load(),
+		Explorations:   sel.explorations.Load(),
+		ShortCircuits:  sel.shortCircuits.Load(),
+		Observations:   sel.observations.Load(),
+		WinsByStrategy: map[string]uint64{},
+	}
+	sel.mu.Lock()
+	shapes := make([]*shapeStats, 0, len(sel.byShape))
+	for _, st := range sel.byShape {
+		shapes = append(shapes, st)
+	}
+	sel.mu.Unlock()
+	s.Shapes = len(shapes)
+	for _, st := range shapes {
+		st.mu.Lock()
+		as := AutoShape{
+			Shape:        st.shape,
+			Decisions:    st.n,
+			LastStrategy: st.lastPick.String(),
+			LastReason:   st.lastReason,
+		}
+		for slot := 0; slot < numSlots; slot++ {
+			if !st.eligible[slot] {
+				continue
+			}
+			w := st.est[slot]
+			as.Candidates = append(as.Candidates, AutoCandidate{
+				Strategy:      slotStrategy[slot].String(),
+				Observations:  w.n,
+				EWMALatencyUS: w.latencyNS / 1e3,
+				EWMAVisited:   w.visited,
+				Wins:          st.wins[slot],
+			})
+			if st.wins[slot] > 0 {
+				s.WinsByStrategy[slotStrategy[slot].String()] += st.wins[slot]
+			}
+		}
+		if st.absent && st.n > 0 {
+			s.WinsByStrategy[EmptyChain.String()] += st.n
+		}
+		s.ErrRelSum += st.errRelSum
+		s.ErrCount += st.errCount
+		st.mu.Unlock()
+		s.TopShapes = append(s.TopShapes, as)
+	}
+	s.Finalize()
+	return s
+}
+
+// AddTo accumulates s into dst (cross-shard aggregation; the PoolStats
+// pattern). Call Finalize on dst once every shard is added.
+func (s SelectorStats) AddTo(dst *SelectorStats) {
+	dst.Adaptive = s.Adaptive
+	dst.Epsilon = s.Epsilon
+	dst.Shapes += s.Shapes
+	dst.Decisions += s.Decisions
+	dst.Explorations += s.Explorations
+	dst.ShortCircuits += s.ShortCircuits
+	dst.Observations += s.Observations
+	dst.ErrRelSum += s.ErrRelSum
+	dst.ErrCount += s.ErrCount
+	if len(s.WinsByStrategy) > 0 && dst.WinsByStrategy == nil {
+		dst.WinsByStrategy = map[string]uint64{}
+	}
+	for k, v := range s.WinsByStrategy {
+		dst.WinsByStrategy[k] += v
+	}
+	dst.TopShapes = append(dst.TopShapes, s.TopShapes...)
+}
+
+// Finalize computes the derived ratios and sorts/caps the shape table.
+func (s *SelectorStats) Finalize() {
+	if s.Decisions > 0 {
+		s.ExplorationRate = float64(s.Explorations) / float64(s.Decisions)
+	}
+	if s.ErrCount > 0 {
+		s.EstimateErrorPct = 100 * s.ErrRelSum / float64(s.ErrCount)
+	}
+	sort.Slice(s.TopShapes, func(i, j int) bool {
+		if s.TopShapes[i].Decisions != s.TopShapes[j].Decisions {
+			return s.TopShapes[i].Decisions > s.TopShapes[j].Decisions
+		}
+		return s.TopShapes[i].Shape < s.TopShapes[j].Shape
+	})
+	if len(s.TopShapes) > maxTopShapes {
+		s.TopShapes = s.TopShapes[:maxTopShapes]
+	}
+}

@@ -47,8 +47,12 @@ type Record struct {
 	Jumps      int  `json:"jumps"`
 	QCacheHit  bool `json:"qcache_hit"`
 	CtxPoolHit bool `json:"ctx_pool_hit"`
-	Streamed   bool `json:"streamed,omitempty"`
-	Slow       bool `json:"slow,omitempty"`
+	// AutoReason is why the Auto selector routed the query to Strategy
+	// (cold-heuristic, probe, explore, min EWMA latency, short-circuit);
+	// empty for forced strategies.
+	AutoReason string `json:"auto_reason,omitempty"`
+	Streamed   bool   `json:"streamed,omitempty"`
+	Slow       bool   `json:"slow,omitempty"`
 }
 
 // Flight is the always-on flight recorder: a fixed ring of the last N

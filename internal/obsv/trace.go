@@ -50,8 +50,14 @@ const (
 const maxSpans = 16
 
 // span is one recorded phase. start is relative to the trace origin.
+// detail is an optional annotation (Annotate): run spans carry the
+// strategy that ran and whether it succeeded, the select span carries
+// the Auto decision — so a profile with several run spans (a failed
+// speculative attempt next to the engine that answered) stays
+// unambiguous.
 type span struct {
 	name   string
+	detail string
 	parent int8
 	start  time.Duration
 	dur    time.Duration
@@ -75,6 +81,12 @@ type Counters struct {
 	// CtxPoolHit: the evaluation ran in a warm pooled context.
 	QCacheHit  bool `json:"qcache_hit"`
 	CtxPoolHit bool `json:"ctx_pool_hit"`
+	// AutoShape/AutoReason attribute an Auto-routed query to the
+	// selector's canonical query shape and the reason its strategy won
+	// (cold-heuristic, probe, explore, min EWMA latency, ...). Empty for
+	// forced strategies.
+	AutoShape  string `json:"auto_shape,omitempty"`
+	AutoReason string `json:"auto_reason,omitempty"`
 }
 
 // Trace records one request's span tree and counters. The zero value
@@ -146,6 +158,17 @@ func (tr *Trace) Begin(name string) int8 {
 	return id
 }
 
+// Annotate attaches a detail string to the span returned by Begin
+// (before or after End). The engine passes precomputed constants on the
+// hot path, so annotating allocates nothing; nil traces and overflowed
+// span ids are no-ops.
+func (tr *Trace) Annotate(id int8, detail string) {
+	if tr == nil || id < 0 || id >= tr.n {
+		return
+	}
+	tr.spans[id].detail = detail
+}
+
 // End closes the span returned by Begin. Ending out of order closes
 // the inner spans too (their durations stop with the outer one).
 func (tr *Trace) End(id int8) {
@@ -166,7 +189,11 @@ func (tr *Trace) End(id int8) {
 // microseconds (matching the service's elapsed_us convention); StartUS
 // is relative to the trace origin.
 type Span struct {
-	Name     string `json:"name"`
+	Name string `json:"name"`
+	// Detail disambiguates same-named spans: run spans carry
+	// "strategy=<name> outcome=ok|failed", the select span carries the
+	// Auto decision with its candidate estimates.
+	Detail   string `json:"detail,omitempty"`
 	StartUS  int64  `json:"start_us"`
 	DurUS    int64  `json:"dur_us"`
 	Children []Span `json:"children,omitempty"`
@@ -203,6 +230,7 @@ func (tr *Trace) children(id int8) []Span {
 		}
 		out = append(out, Span{
 			Name:     s.name,
+			Detail:   s.detail,
 			StartUS:  s.start.Microseconds(),
 			DurUS:    s.dur.Microseconds(),
 			Children: tr.children(i),

@@ -66,12 +66,14 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// A 10-query batch with repeats, so the LRU sees the same compiled
-	// automata again.
+	// automata again. Strategy is forced: this test pins the LRU, and
+	// adaptive Auto's probing would legitimately route repeats to
+	// engines that compile nothing (hybrid), starving the cache.
 	qs := xmark.Queries()
 	var batch BatchRequest
 	for i := 0; i < 10; i++ {
 		batch.Requests = append(batch.Requests,
-			Request{Doc: "xm", Query: qs[i%5].XPath})
+			Request{Doc: "xm", Query: qs[i%5].XPath, Strategy: "optimized"})
 	}
 	var batchResp BatchResponse
 	if code := doJSON(t, "POST", srv.URL+"/batch", batch, &batchResp); code != http.StatusOK {

@@ -201,6 +201,13 @@ var promFamilies = map[string]string{
 	"xpqd_lock_wait_seconds_total":          "counter",
 	"xpqd_lock_wait_max_seconds":            "gauge",
 	"xpqd_lock_acquires_total":              "counter",
+	"xpqd_auto_shapes":                      "gauge",
+	"xpqd_auto_decisions_total":             "counter",
+	"xpqd_auto_explorations_total":          "counter",
+	"xpqd_auto_short_circuits_total":        "counter",
+	"xpqd_auto_observations_total":          "counter",
+	"xpqd_auto_wins_total":                  "counter",
+	"xpqd_auto_estimate_error_pct":          "gauge",
 	"xpqd_documents":                        "gauge",
 	"xpqd_shards":                           "gauge",
 	"xpqd_heap_alloc_objects_total":         "counter",

@@ -120,6 +120,30 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	p.Family("xpqd_ctx_pool_arena_bytes", "Scratch bytes kept warm by pooled contexts.", obsv.TypeGauge)
 	eachShard(p, st, "xpqd_ctx_pool_arena_bytes", func(ss *ShardStats) float64 { return float64(ss.Pool.ArenaBytes) })
 
+	// Observed-latency Auto selector, per shard. Wins carry a strategy
+	// label; the gauges summarize model quality (estimate error) and
+	// behavior (exploration is derivable as explorations/decisions).
+	p.Family("xpqd_auto_shapes", "Query shapes tracked by the Auto selector.", obsv.TypeGauge)
+	eachShard(p, st, "xpqd_auto_shapes", func(ss *ShardStats) float64 { return float64(ss.Auto.Shapes) })
+	p.Family("xpqd_auto_decisions_total", "Auto routing decisions.", obsv.TypeCounter)
+	eachShard(p, st, "xpqd_auto_decisions_total", func(ss *ShardStats) float64 { return float64(ss.Auto.Decisions) })
+	p.Family("xpqd_auto_explorations_total", "Auto decisions spent re-measuring a non-best candidate.", obsv.TypeCounter)
+	eachShard(p, st, "xpqd_auto_explorations_total", func(ss *ShardStats) float64 { return float64(ss.Auto.Explorations) })
+	p.Family("xpqd_auto_short_circuits_total", "Chain queries answered empty from the index (absent label), no engine run.", obsv.TypeCounter)
+	eachShard(p, st, "xpqd_auto_short_circuits_total", func(ss *ShardStats) float64 { return float64(ss.Auto.ShortCircuits) })
+	p.Family("xpqd_auto_observations_total", "Completed evaluations fed back into the selector.", obsv.TypeCounter)
+	eachShard(p, st, "xpqd_auto_observations_total", func(ss *ShardStats) float64 { return float64(ss.Auto.Observations) })
+	p.Family("xpqd_auto_wins_total", "Auto decisions by winning strategy.", obsv.TypeCounter)
+	for i := range st.Shards {
+		ss := &st.Shards[i]
+		for strat, n := range ss.Auto.WinsByStrategy {
+			p.Sample("xpqd_auto_wins_total", float64(n),
+				"shard", shardLabel(ss.Shard), "strategy", strat)
+		}
+	}
+	p.Family("xpqd_auto_estimate_error_pct", "Mean |observed-estimated|/observed latency error of the selector's EWMA model, percent.", obsv.TypeGauge)
+	eachShard(p, st, "xpqd_auto_estimate_error_pct", func(ss *ShardStats) float64 { return ss.Auto.EstimateErrorPct })
+
 	// Residency and contention, per shard.
 	p.Family("xpqd_shard_documents", "Documents resident per shard.", obsv.TypeGauge)
 	eachShard(p, st, "xpqd_shard_documents", func(ss *ShardStats) float64 { return float64(ss.Documents) })

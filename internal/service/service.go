@@ -66,6 +66,13 @@ type Options struct {
 	// Logger receives structured query logs (slow queries at Warn,
 	// per-query records at Debug); nil means slog.Default().
 	Logger *slog.Logger
+	// StaticAuto disables the observed-latency Auto selector, reverting
+	// every Auto decision to the paper's §5 static count heuristic. The
+	// zero value (adaptive on) is the daemon default.
+	StaticAuto bool
+	// AutoEpsilon is the selector's exploration floor; <= 0 means
+	// core.DefaultAutoEpsilon.
+	AutoEpsilon float64
 }
 
 // Service serves queries over the documents resident in its sharded
@@ -120,6 +127,11 @@ type svcShard struct {
 	lockWaitMaxNS atomic.Int64
 	lockAcquires  atomic.Uint64
 
+	// autoCfg configures the Auto selector of every engine this shard
+	// builds (selector state itself is per engine, hence per document
+	// generation).
+	autoCfg core.AutoConfig
+
 	metrics metrics
 }
 
@@ -163,6 +175,10 @@ func New(ss *shard.Store, opts Options) *Service {
 	// a previous daemon process pass the staleness check against a
 	// same-named document with different contents.
 	seed := uint64(time.Now().UnixNano())
+	autoCfg := core.AutoConfig{Adaptive: !opts.StaticAuto, Epsilon: opts.AutoEpsilon}
+	if autoCfg.Epsilon <= 0 {
+		autoCfg.Epsilon = core.DefaultAutoEpsilon
+	}
 	for i := 0; i < ss.NumShards(); i++ {
 		s.shards = append(s.shards, &svcShard{
 			index:      i,
@@ -170,6 +186,7 @@ func New(ss *shard.Store, opts Options) *Service {
 			cache:      qcache.NewShared(opts.CacheSize, opts.CacheBytes, s.budget),
 			engines:    make(map[string]engineEntry),
 			generation: seed,
+			autoCfg:    autoCfg,
 		})
 	}
 	return s
@@ -227,6 +244,7 @@ func (sh *svcShard) engine(docID string) (*core.Engine, uint64, error) {
 	sh.generation++
 	prefix := docID + "\x00" + strconv.FormatUint(sh.generation, 10) + "\x00"
 	e := core.NewWithIndex(h.Doc, h.Index, sh.cache, prefix)
+	e.ConfigureAuto(sh.autoCfg)
 	sh.engines[docID] = engineEntry{handle: h, engine: e, gen: sh.generation}
 	return e, sh.generation, nil
 }
@@ -433,6 +451,8 @@ func (s *Service) explain(st *evalState, req *Request, resp *Response) *obsv.Pro
 		c.Jumps = cur.Jumps()
 		c.QCacheHit = cur.QCacheHit()
 		c.CtxPoolHit = cur.CtxPoolHit()
+		c.AutoShape = cur.AutoShape()
+		c.AutoReason = cur.AutoReason()
 	}
 	st.tr.End(st.root)
 	p := st.tr.Profile(req.RequestID)
@@ -482,6 +502,7 @@ func (s *Service) finish(st *evalState, req *Request, resp *Response, outcome, e
 		rec.Jumps = cur.Jumps()
 		rec.QCacheHit = cur.QCacheHit()
 		rec.CtxPoolHit = cur.CtxPoolHit()
+		rec.AutoReason = cur.AutoReason()
 	}
 	slow := s.flight.Add(rec)
 	level := slog.LevelDebug
@@ -623,6 +644,11 @@ type ShardStats struct {
 	// pooled contexts keep resident.
 	Pool        core.PoolStats `json:"ctx_pool"`
 	PoolHitRate float64        `json:"ctx_pool_hit_rate"`
+	// Auto aggregates the observed-latency Auto selectors of this
+	// shard's engines: shapes tracked, wins per strategy, exploration
+	// rate, estimate error, and the most-decided shapes with their
+	// per-candidate estimates and winner reasons.
+	Auto core.SelectorStats `json:"auto"`
 }
 
 // Stats is a point-in-time snapshot of the whole service plus the
@@ -640,6 +666,8 @@ type Stats struct {
 	// Pool aggregates the evaluation-context pools across all shards.
 	Pool        core.PoolStats `json:"ctx_pool"`
 	PoolHitRate float64        `json:"ctx_pool_hit_rate"`
+	// Auto aggregates the Auto selector tables across all shards.
+	Auto core.SelectorStats `json:"auto"`
 	// HeapAllocObjects is the process's cumulative heap allocations
 	// since the service started; AllocsPerQuery divides it by the
 	// query total — the observed (process-wide, so conservative)
@@ -665,10 +693,15 @@ func (s *Service) Stats() Stats {
 		sh.mu.Lock()
 		engines := len(sh.engines)
 		var pool core.PoolStats
+		// Seed the config fields so a shard with no engines yet still
+		// reports the configured mode.
+		auto := core.SelectorStats{Adaptive: sh.autoCfg.Adaptive, Epsilon: sh.autoCfg.Epsilon}
 		for _, ent := range sh.engines {
 			ent.engine.PoolStats().AddTo(&pool)
+			ent.engine.SelectorStats().AddTo(&auto)
 		}
 		sh.mu.Unlock()
+		auto.Finalize()
 		ss := ShardStats{
 			Shard:         sh.index,
 			Documents:     len(docs),
@@ -682,8 +715,10 @@ func (s *Service) Stats() Stats {
 			Queries:       sh.metrics.snapshot(),
 			Pool:          pool,
 			PoolHitRate:   pool.HitRate(),
+			Auto:          auto,
 		}
 		pool.AddTo(&out.Pool)
+		auto.AddTo(&out.Auto)
 		ss.LockWaitTotalNS = sh.lockWaitNS.Load()
 		if ss.LockAcquires > 0 {
 			ss.LockWaitMeanNS = ss.LockWaitTotalNS / int64(ss.LockAcquires)
@@ -708,6 +743,7 @@ func (s *Service) Stats() Stats {
 	}
 	out.Queries = agg.snapshot()
 	out.PoolHitRate = out.Pool.HitRate()
+	out.Auto.Finalize()
 	if now := heapAllocObjects(); now > s.allocs0 {
 		out.HeapAllocObjects = now - s.allocs0
 		if out.Queries.Total > 0 {

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/shard"
 	"repro/internal/xmark"
 )
@@ -238,5 +239,124 @@ func TestStatsHistogramAndStrategies(t *testing.T) {
 	}
 	if qs.VisitedNodes == 0 || qs.SelectedNodes == 0 {
 		t.Errorf("visited/selected = %d/%d, want > 0", qs.VisitedNodes, qs.SelectedNodes)
+	}
+}
+
+func TestStatsSelectorTable(t *testing.T) {
+	s := newTestService(t, Options{})
+	// Warm one multi-candidate shape so the table has a learned entry.
+	for i := 0; i < 6; i++ {
+		if resp := s.Eval(Request{Doc: "d1", Query: "//a/b"}); resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+	}
+	// An absent chain label short-circuits without running any engine;
+	// /stats must report it as its own outcome, and explain + the flight
+	// recorder must carry the selector's attribution.
+	resp := s.Eval(Request{Doc: "d1", Query: "/r/nosuch/x", Explain: true})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	if resp.Count != 0 {
+		t.Errorf("absent label count = %d, want 0", resp.Count)
+	}
+	if resp.Strategy != "empty-chain" {
+		t.Errorf("strategy = %q, want empty-chain", resp.Strategy)
+	}
+	if resp.Explain == nil {
+		t.Fatal("no explain profile")
+	}
+	if got := resp.Explain.Counters.AutoReason; got != "absent-chain-label" {
+		t.Errorf("explain auto_reason = %q, want absent-chain-label", got)
+	}
+	if got := resp.Explain.Counters.AutoShape; got == "" {
+		t.Error("explain auto_shape is empty")
+	}
+
+	st := s.Stats()
+	if !st.Auto.Adaptive {
+		t.Error("default service must run the adaptive selector")
+	}
+	if st.Auto.Epsilon != core.DefaultAutoEpsilon {
+		t.Errorf("epsilon = %g, want default %g", st.Auto.Epsilon, core.DefaultAutoEpsilon)
+	}
+	if st.Auto.Shapes < 2 || st.Auto.Decisions < 7 {
+		t.Errorf("selector table: shapes=%d decisions=%d, want >=2/>=7",
+			st.Auto.Shapes, st.Auto.Decisions)
+	}
+	if st.Auto.ShortCircuits != 1 {
+		t.Errorf("short circuits = %d, want 1", st.Auto.ShortCircuits)
+	}
+	if st.Auto.Observations == 0 {
+		t.Error("no feedback observations flowed to /stats")
+	}
+	var warm, absent *core.AutoShape
+	for i := range st.Auto.TopShapes {
+		sh := &st.Auto.TopShapes[i]
+		switch sh.Shape {
+		case "/descendant::a/child::b":
+			warm = sh
+		case "/child::r/child::nosuch/child::x":
+			absent = sh
+		}
+	}
+	if warm == nil {
+		t.Fatalf("warm shape missing from top_shapes: %+v", st.Auto.TopShapes)
+	}
+	// Per-shape winner + reason: the acceptance criterion.
+	if warm.LastStrategy == "" || warm.LastReason == "" {
+		t.Errorf("warm shape lacks winner/reason: %+v", warm)
+	}
+	if len(warm.Candidates) == 0 || warm.Candidates[0].Observations == 0 {
+		t.Errorf("warm shape has no measured candidates: %+v", warm.Candidates)
+	}
+	if absent == nil {
+		t.Fatalf("absent shape missing from top_shapes: %+v", st.Auto.TopShapes)
+	}
+	if absent.LastStrategy != "empty-chain" || absent.LastReason != "absent-chain-label" {
+		t.Errorf("absent shape = %s/%s, want empty-chain/absent-chain-label",
+			absent.LastStrategy, absent.LastReason)
+	}
+	if st.Auto.WinsByStrategy["empty-chain"] != 1 {
+		t.Errorf("wins_by_strategy[empty-chain] = %d, want 1", st.Auto.WinsByStrategy["empty-chain"])
+	}
+	// The per-shard view carries the same table.
+	if len(st.Shards) != 1 || st.Shards[0].Auto.Decisions != st.Auto.Decisions {
+		t.Errorf("per-shard selector table disagrees with the aggregate")
+	}
+
+	// The flight recorder attributes the short-circuit too.
+	recs := s.Flight().Snapshot(0, false).Records
+	found := false
+	for _, r := range recs {
+		if r.Query == "/r/nosuch/x" {
+			found = true
+			if r.AutoReason != "absent-chain-label" {
+				t.Errorf("flight auto_reason = %q, want absent-chain-label", r.AutoReason)
+			}
+		}
+	}
+	if !found {
+		t.Error("short-circuit query missing from flight recorder")
+	}
+}
+
+func TestStatsSelectorStaticMode(t *testing.T) {
+	s := newTestService(t, Options{StaticAuto: true})
+	for i := 0; i < 3; i++ {
+		if resp := s.Eval(Request{Doc: "d1", Query: "//a/b"}); resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+	}
+	st := s.Stats()
+	if st.Auto.Adaptive {
+		t.Error("StaticAuto service reports adaptive")
+	}
+	if len(st.Auto.TopShapes) == 0 || st.Auto.TopShapes[0].LastReason != "static-heuristic" {
+		t.Errorf("static mode top_shapes = %+v, want static-heuristic reason", st.Auto.TopShapes)
+	}
+	// Static mode still measures (warm handoff on a mode flip).
+	if st.Auto.Observations != 3 {
+		t.Errorf("static-mode observations = %d, want 3", st.Auto.Observations)
 	}
 }

@@ -73,8 +73,11 @@ func TestStreamEndToEnd(t *testing.T) {
 	}
 	srv := newTestHTTP(t, svc, HandlerOptions{StreamChunk: 16})
 
+	// Strategy forced: the point is chunked delivery parity with the
+	// one-shot path; adaptive Auto would probe a different engine on
+	// the second evaluation and fail the header strategy comparison.
 	const query = "//listitem//keyword"
-	one := svc.Eval(Request{Doc: "xm", Query: query})
+	one := svc.Eval(Request{Doc: "xm", Query: query, Strategy: "optimized"})
 	if one.Err != "" {
 		t.Fatal(one.Err)
 	}
@@ -82,7 +85,7 @@ func TestStreamEndToEnd(t *testing.T) {
 		t.Fatalf("answer too small (%d) to exercise chunking", one.Count)
 	}
 
-	header, chunks, trailer := streamLines(t, srv, Request{Doc: "xm", Query: query})
+	header, chunks, trailer := streamLines(t, srv, Request{Doc: "xm", Query: query, Strategy: "optimized"})
 	if header.Count != one.Count || header.Strategy != one.Strategy {
 		t.Fatalf("header %+v vs one-shot count=%d strategy=%s", header, one.Count, one.Strategy)
 	}
