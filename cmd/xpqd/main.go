@@ -5,6 +5,7 @@
 //	xpqd [-addr localhost:8714] [-shards N] [-cache-size 256] [-cache-bytes N]
 //	     [-cache-bytes-total N] [-workers N] [-stream-chunk 512] [-allow-file-loads]
 //	     [-log-level info] [-slow-query-ms N] [-flight-records 256] [-pprof]
+//	     [-cursor-ttl 60s]
 //	     [-load id=file.xml ...] [-load-bin id=file.xqo ...] [-xmark id=scale[:seed] ...]
 //
 // The document corpus is partitioned over -shards goroutine-affine
@@ -17,8 +18,10 @@
 // Endpoints:
 //
 //	POST   /query      {"doc":"xm","query":"//listitem//keyword","strategy":"auto"}
-//	                   optional "limit" + "cursor" page the preorder answer;
-//	                   the response's "next" token resumes (410 after a reload);
+//	                   optional "limit" + "cursor" page the preorder answer; the
+//	                   response's "next" token resumes against the generation it
+//	                   pinned (410 once that generation is garbage-collected);
+//	                   "asof"/?asof=<gen> time-travels to an older generation;
 //	                   ?explain=1 attaches a span-tree profile
 //	POST   /query/stream  same body; NDJSON header/chunk/trailer lines,
 //	                   flushed per chunk so large answers stream in bounded memory
@@ -27,6 +30,11 @@
 //	POST   /docs       {"id":"xm","xmark_scale":0.1} | {"id":"d","xml":"<r/>"} |
 //	                   {"id":"d","file":"doc.xml"} | {"id":"d","binary_file":"doc.xqo"}
 //	                   (the file-path forms require -allow-file-loads)
+//	PATCH  /docs/{id}  {"op":"insert|delete|replace","node":N,"before":M,
+//	                   "xml":"<frag/>","base_gen":G} — mutate a subtree,
+//	                   publishing a new MVCC generation with incrementally
+//	                   maintained indexes; open cursors and asof readers keep
+//	                   their generation; base_gen makes it compare-and-swap (409)
 //	DELETE /docs/{id}  evict a document (purges its compiled queries)
 //	GET    /stats      store + cache + latency metrics
 //	GET    /metrics    the same numbers in Prometheus text exposition
@@ -104,6 +112,7 @@ func main() {
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		autoAdapt   = flag.Bool("auto-adaptive", true, "route Auto queries on observed per-shape latency (false = the paper's static count heuristic)")
 		autoEps     = flag.Float64("auto-epsilon", core.DefaultAutoEpsilon, "Auto selector exploration floor (fraction of warm decisions spent re-measuring)")
+		cursorTTL   = flag.Duration("cursor-ttl", service.DefaultCursorTTL, "how long an unconsumed page/stream cursor keeps its MVCC generation alive")
 		loads       multiFlag
 		loadBins    multiFlag
 		xmarks      multiFlag
@@ -136,6 +145,7 @@ func main() {
 		Logger:          logger,
 		StaticAuto:      !*autoAdapt,
 		AutoEpsilon:     *autoEps,
+		CursorTTL:       *cursorTTL,
 	})
 
 	srv := &http.Server{

@@ -48,6 +48,40 @@ func (b *Builder) AppendN(bit bool, n int) {
 	}
 }
 
+// appendBits appends the low nbits of w (nbits in [1, 64]).
+func (b *Builder) appendBits(w uint64, nbits int) {
+	if nbits < wordBits {
+		w &= 1<<uint(nbits) - 1
+	}
+	off := uint(b.n % wordBits)
+	if off == 0 {
+		b.words = append(b.words, w)
+	} else {
+		b.words[len(b.words)-1] |= w << off
+		if int(off)+nbits > wordBits {
+			b.words = append(b.words, w>>(wordBits-off))
+		}
+	}
+	b.n += nbits
+}
+
+// AppendRange appends bits [from, to) of src, copying word-at-a-time
+// instead of bit-by-bit — the workhorse of the BP splice, where all but
+// a fragment-sized window of the parenthesis sequence is carried over
+// unchanged.
+func (b *Builder) AppendRange(src *Vector, from, to int) {
+	if from < 0 || to > src.n || from > to {
+		panic("bitvec: append range out of bounds")
+	}
+	for from+wordBits <= to {
+		b.appendBits(src.word64(from), wordBits)
+		from += wordBits
+	}
+	if rem := to - from; rem > 0 {
+		b.appendBits(src.word64(from), rem)
+	}
+}
+
 // Len reports the number of bits appended so far.
 func (b *Builder) Len() int { return b.n }
 
@@ -109,6 +143,17 @@ func (v *Vector) Zeros() int { return v.n - v.ones }
 // Get reports the bit at position i (0-based).
 func (v *Vector) Get(i int) bool {
 	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// word64 reads up to 64 bits starting at bit position i; bits past the
+// vector's end are zero.
+func (v *Vector) word64(i int) uint64 {
+	wi, off := i/wordBits, uint(i%wordBits)
+	w := v.words[wi] >> off
+	if off != 0 && wi+1 < len(v.words) {
+		w |= v.words[wi+1] << (wordBits - off)
+	}
+	return w
 }
 
 // Rank1 returns the number of 1-bits in positions [0, i), i.e. strictly

@@ -233,3 +233,45 @@ func BenchmarkSelect1(b *testing.B) {
 		_ = v.Select1(1 + i%ones)
 	}
 }
+
+// TestAppendRangeRandom cross-checks the word-at-a-time range copy
+// against bit-by-bit appends over random vectors, ranges and builder
+// phase (the destination's bit offset when the copy starts).
+func TestAppendRangeRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + r.Intn(400)
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = r.Intn(2) == 0
+		}
+		src := FromBools(bits)
+		from := r.Intn(n + 1)
+		to := from + r.Intn(n+1-from)
+		phase := r.Intn(130) // 0..129 prior bits: covers offsets past two words
+
+		fast := NewBuilder(phase + to - from)
+		slow := NewBuilder(phase + to - from)
+		for i := 0; i < phase; i++ {
+			bit := r.Intn(2) == 0
+			fast.Append(bit)
+			slow.Append(bit)
+		}
+		fast.AppendRange(src, from, to)
+		for i := from; i < to; i++ {
+			slow.Append(src.Get(i))
+		}
+		fv, sv := fast.Build(), slow.Build()
+		if fv.Len() != sv.Len() {
+			t.Fatalf("iter %d: len %d != %d", iter, fv.Len(), sv.Len())
+		}
+		for i := 0; i < fv.Len(); i++ {
+			if fv.Get(i) != sv.Get(i) {
+				t.Fatalf("iter %d: bit %d differs (phase %d, range [%d,%d) of %d)", iter, i, phase, from, to, n)
+			}
+		}
+		if fv.Ones() != sv.Ones() {
+			t.Fatalf("iter %d: ones %d != %d", iter, fv.Ones(), sv.Ones())
+		}
+	}
+}

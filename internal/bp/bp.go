@@ -340,10 +340,39 @@ func (t *Tree) Enclose(i int) int {
 	return j + 1
 }
 
+// Splice returns a new tree whose parenthesis sequence is t's with the
+// bit range [at, at+del) replaced by ins (true = open). Both the removed
+// range and the inserted sequence must themselves be balanced — which
+// every subtree patch guarantees, since a subtree is one matched
+// parenthesis pair. The bits are copied word-at-a-time where aligned and
+// the block summaries rebuilt in one linear pass, so deriving a patched
+// generation's tree costs O(n/w + n/blockBits) words, not a pointer-tree
+// walk.
+func (t *Tree) Splice(at, del int, ins []bool) *Tree {
+	oldLen := t.paren.Len()
+	if at < 0 || del < 0 || at+del > oldLen {
+		panic("bp: splice range out of bounds")
+	}
+	b := bitvec.NewBuilder(oldLen - del + len(ins))
+	b.AppendRange(t.paren, 0, at)
+	for _, open := range ins {
+		b.Append(open)
+	}
+	b.AppendRange(t.paren, at+del, oldLen)
+	nt := &Tree{paren: b.Build(), n: t.n - del/2 + len(ins)/2}
+	nt.buildBlocks()
+	return nt
+}
+
 // --- Node-level navigation. Nodes are 0-based preorder ranks. ---
 
 // pos returns the position of node v's open parenthesis.
 func (t *Tree) pos(v int) int { return t.paren.Select1(v + 1) }
+
+// OpenPos returns the bit position of node v's open parenthesis
+// (select1(v+1)); patch splicing and the property tests use it to map
+// preorder ranks to sequence positions.
+func (t *Tree) OpenPos(v int) int { return t.pos(v) }
 
 // node returns the preorder rank of the node whose open paren is at p.
 func (t *Tree) node(p int) int { return t.paren.Rank1(p+1) - 1 }

@@ -1,0 +1,75 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Apply derives the jumping index of a patched document from its parent
+// generation's index and the splice Delta, without re-scanning the
+// whole document. Occurrence lists are per-label sorted preorder
+// arrays, and a subtree patch is one contiguous preorder splice, so
+// each list updates with two binary searches plus a shifted copy; only
+// binEnd — whose entries depend on parent lastDesc values that the
+// splice moves — is rebuilt, in one linear pass over the already-built
+// arrays of the new document (no label counting, no per-label append
+// loop). BottomMost caches are dropped and rebuilt lazily as before.
+func Apply(old *Index, newDoc *tree.Document, dl *tree.Delta) *Index {
+	n := newDoc.NumNodes()
+	sigma := newDoc.Names().Size()
+	ix := &Index{
+		doc:        newDoc,
+		occ:        make([][]tree.NodeID, sigma),
+		binEnd:     make([]tree.NodeID, n),
+		bottomMost: make([][]tree.NodeID, sigma),
+		built:      make([]bool, sigma),
+	}
+	var (
+		q     = dl.At
+		cut   = dl.At + tree.NodeID(dl.Removed)
+		delta = tree.NodeID(dl.Inserted - dl.Removed)
+	)
+	// Occurrences of the grafted interval [q, q+Inserted), gathered from
+	// the new document's label array (already remapped into the patched
+	// label table by the splice).
+	var inserted map[tree.LabelID][]tree.NodeID
+	if dl.Inserted > 0 {
+		inserted = make(map[tree.LabelID][]tree.NodeID)
+		for v := q; v < q+tree.NodeID(dl.Inserted); v++ {
+			l := newDoc.Label(v)
+			inserted[l] = append(inserted[l], v)
+		}
+	}
+	for l := 0; l < sigma; l++ {
+		var occ []tree.NodeID
+		if l < len(old.occ) {
+			occ = old.occ[l]
+		}
+		// The removed interval [q, cut) occupies one contiguous run of
+		// each sorted occurrence list.
+		lo := sort.Search(len(occ), func(i int) bool { return occ[i] >= q })
+		hi := lo + sort.Search(len(occ[lo:]), func(i int) bool { return occ[lo:][i] >= cut })
+		ins := inserted[tree.LabelID(l)]
+		out := make([]tree.NodeID, 0, lo+len(ins)+len(occ)-hi)
+		out = append(out, occ[:lo]...)
+		out = append(out, ins...)
+		for _, v := range occ[hi:] {
+			out = append(out, v+delta)
+		}
+		ix.occ[l] = out
+	}
+	// binEnd[v] = LastDesc(Parent(v)) is a pure function of the new
+	// document's parent/lastDesc arrays; deriving it beats patching the
+	// old values because suffix entries can reference prefix parents
+	// whose lastDesc moved.
+	for v := 0; v < n; v++ {
+		node := tree.NodeID(v)
+		if p := newDoc.Parent(node); p != tree.Nil {
+			ix.binEnd[v] = newDoc.LastDesc(p)
+		} else {
+			ix.binEnd[v] = tree.NodeID(n - 1)
+		}
+	}
+	return ix
+}

@@ -21,6 +21,7 @@ import (
 //	POST   /batch   BatchRequest             -> BatchResponse
 //	GET    /docs                             -> documents (with owning shard) + shard count
 //	POST   /docs    LoadRequest              -> store.Stats
+//	PATCH  /docs/{id}  PatchDocRequest       -> store.Stats (the new generation)
 //	DELETE /docs/{id}                        -> 204
 //	GET    /stats                            -> Stats
 //	GET    /metrics                          -> Prometheus text exposition
@@ -30,7 +31,8 @@ import (
 //
 // The query endpoints accept ?explain=1 (or "explain": true in the
 // body) to attach an EXPLAIN-ANALYZE span-tree profile to the response
-// (for streams, to the trailer). Every query request is tagged with a
+// (for streams, to the trailer), and ?asof=<gen> (or "asof" in the
+// body) to pin the query to one MVCC generation of the document. Every query request is tagged with a
 // request id — X-Request-Id when the client sent one, generated
 // otherwise — echoed in the response headers, the explain profile, the
 // flight records and the logs.
@@ -115,6 +117,23 @@ func wantExplain(r *http.Request) bool {
 	return false
 }
 
+// asOf merges the ?asof=<gen> query parameter into the decoded request
+// body's AsOf field (the parameter wins when both are set). A malformed
+// value reports false and the caller answers 400.
+func asOf(w http.ResponseWriter, r *http.Request, req *Request) bool {
+	raw := r.URL.Query().Get("asof")
+	if raw == "" {
+		return true
+	}
+	gen, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || gen == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad asof: want a generation number"})
+		return false
+	}
+	req.AsOf = gen
+	return true
+}
+
 // DefaultStreamWriteTimeout is the per-chunk write deadline of
 // /query/stream when HandlerOptions does not choose one.
 const DefaultStreamWriteTimeout = 30 * time.Second
@@ -146,6 +165,9 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 		}
 		req.RequestID = ensureRequestID(w, r)
 		req.Explain = req.Explain || wantExplain(r)
+		if !asOf(w, r, &req) {
+			return
+		}
 		resp := s.Eval(req)
 		writeJSON(w, statusFor(resp), resp)
 	})
@@ -156,6 +178,9 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 		}
 		req.RequestID = ensureRequestID(w, r)
 		req.Explain = req.Explain || wantExplain(r)
+		if !asOf(w, r, &req) {
+			return
+		}
 		// The content type goes out with the first flush; from then on
 		// the response is committed and a failure truncates the stream.
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -213,6 +238,25 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, h.Stats)
+	})
+	mux.HandleFunc("PATCH /docs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var req PatchDocRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		st, err := s.PatchDoc(r.PathValue("id"), req)
+		if err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, store.ErrNotFound):
+				code = http.StatusNotFound
+			case errors.Is(err, store.ErrConflict):
+				code = http.StatusConflict
+			}
+			writeJSON(w, code, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("DELETE /docs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !s.EvictDoc(r.PathValue("id")) {

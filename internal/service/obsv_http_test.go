@@ -208,6 +208,10 @@ var promFamilies = map[string]string{
 	"xpqd_auto_observations_total":          "counter",
 	"xpqd_auto_wins_total":                  "counter",
 	"xpqd_auto_estimate_error_pct":          "gauge",
+	"xpqd_mvcc_generations_live":            "gauge",
+	"xpqd_mvcc_generations_pinned":          "gauge",
+	"xpqd_mvcc_patches_total":               "counter",
+	"xpqd_mvcc_generations_retired_total":   "counter",
 	"xpqd_documents":                        "gauge",
 	"xpqd_shards":                           "gauge",
 	"xpqd_heap_alloc_objects_total":         "counter",

@@ -144,6 +144,16 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	p.Family("xpqd_auto_estimate_error_pct", "Mean |observed-estimated|/observed latency error of the selector's EWMA model, percent.", obsv.TypeGauge)
 	eachShard(p, st, "xpqd_auto_estimate_error_pct", func(ss *ShardStats) float64 { return ss.Auto.EstimateErrorPct })
 
+	// MVCC generation chains, per shard.
+	p.Family("xpqd_mvcc_generations_live", "Readable document generations resident per shard.", obsv.TypeGauge)
+	eachShard(p, st, "xpqd_mvcc_generations_live", func(ss *ShardStats) float64 { return float64(ss.MVCC.LiveGenerations) })
+	p.Family("xpqd_mvcc_generations_pinned", "Non-latest generations kept alive by cursors or leases.", obsv.TypeGauge)
+	eachShard(p, st, "xpqd_mvcc_generations_pinned", func(ss *ShardStats) float64 { return float64(ss.MVCC.PinnedGenerations) })
+	p.Family("xpqd_mvcc_patches_total", "Subtree patches applied.", obsv.TypeCounter)
+	eachShard(p, st, "xpqd_mvcc_patches_total", func(ss *ShardStats) float64 { return float64(ss.MVCC.Patches) })
+	p.Family("xpqd_mvcc_generations_retired_total", "Generations garbage-collected after their readers drained.", obsv.TypeCounter)
+	eachShard(p, st, "xpqd_mvcc_generations_retired_total", func(ss *ShardStats) float64 { return float64(ss.MVCC.Retired) })
+
 	// Residency and contention, per shard.
 	p.Family("xpqd_shard_documents", "Documents resident per shard.", obsv.TypeGauge)
 	eachShard(p, st, "xpqd_shard_documents", func(ss *ShardStats) float64 { return float64(ss.Documents) })

@@ -21,6 +21,7 @@ import (
 	runtimemetrics "runtime/metrics"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/tree"
+	"repro/internal/xmlparse"
 )
 
 // ErrNoDocument is wrapped by Eval errors for queries against ids not
@@ -73,18 +75,29 @@ type Options struct {
 	// AutoEpsilon is the selector's exploration floor; <= 0 means
 	// core.DefaultAutoEpsilon.
 	AutoEpsilon float64
+	// CursorTTL bounds how long an unredeemed continuation token keeps
+	// its document generation alive (the MVCC lease horizon); <= 0 means
+	// DefaultCursorTTL.
+	CursorTTL time.Duration
 }
+
+// DefaultCursorTTL is the continuation-token lease lifetime when
+// Options does not choose one: long enough for an interactive page
+// loop, short enough that abandoned tokens don't pin retired
+// generations indefinitely.
+const DefaultCursorTTL = 60 * time.Second
 
 // Service serves queries over the documents resident in its sharded
 // store. All methods are safe for concurrent use.
 type Service struct {
-	store   *shard.Store
-	shards  []*svcShard
-	budget  *qcache.Budget
-	workers int
-	flight  *obsv.Flight
-	logger  *slog.Logger
-	started time.Time
+	store     *shard.Store
+	shards    []*svcShard
+	budget    *qcache.Budget
+	workers   int
+	flight    *obsv.Flight
+	logger    *slog.Logger
+	started   time.Time
+	cursorTTL time.Duration
 	// allocs0 is the process's cumulative heap-allocation count when
 	// the service was built; /stats reports the delta per query as the
 	// observed steady-state allocs/op.
@@ -111,14 +124,15 @@ type svcShard struct {
 	part  *store.Store
 	cache *qcache.Cache
 
+	// engines is keyed docID\x00generation — one engine per resident
+	// (document, generation). Cache keys extend the same prefix
+	// (docID\x00gen\x00...), so a compilation that was in flight when a
+	// generation retired can only re-insert under the dead generation's
+	// namespace — a patched or reloaded document gets a fresh store
+	// generation and can never hit the stale entry. The store's retire
+	// callback purges both maps when a generation's readers drain.
 	mu      sync.Mutex
 	engines map[string]engineEntry
-	// generation increments per engine created on this shard. Cache keys
-	// embed the generation (docID\x00gen\x00...), so a compilation that
-	// was in flight when EvictDoc purged the prefix can only re-insert
-	// under the dead generation — a reloaded document under the same id
-	// gets a fresh generation and can never hit the stale entry.
-	generation uint64
 
 	// Lock-wait accounting for mu: how long engine lookups queued behind
 	// other requests for this shard — the contention signal sharding
@@ -135,16 +149,12 @@ type svcShard struct {
 	metrics metrics
 }
 
-// engineEntry pins the store handle an engine was built from, so
-// engine() can detect evict/reload churn done directly on the store
-// (bypassing EvictDoc) and rebuild instead of serving the old tree.
-// gen is the generation the engine was created under; cursor tokens
-// embed it so a resume against a reloaded document fails cleanly
-// instead of serving a page of a different tree.
+// engineEntry pins the store handle an engine was built from. Handles
+// are immutable per generation, so an entry never goes stale — it is
+// simply purged when its generation retires.
 type engineEntry struct {
 	handle *store.Handle
 	engine *core.Engine
-	gen    uint64
 }
 
 // New builds a service around a (possibly pre-populated) sharded store;
@@ -161,33 +171,43 @@ func New(ss *shard.Store, opts Options) *Service {
 	if logger == nil {
 		logger = slog.Default()
 	}
-	s := &Service{
-		store:   ss,
-		budget:  qcache.NewBudget(opts.CacheBytesTotal),
-		workers: workers,
-		flight:  obsv.NewFlight(opts.FlightRecords, opts.SlowQuery),
-		logger:  logger,
-		started: time.Now(),
-		allocs0: heapAllocObjects(),
+	ttl := opts.CursorTTL
+	if ttl <= 0 {
+		ttl = DefaultCursorTTL
 	}
-	// Seed the generations with process entropy: cursor tokens embed
-	// them, and counters restarting at zero would let a token issued by
-	// a previous daemon process pass the staleness check against a
-	// same-named document with different contents.
-	seed := uint64(time.Now().UnixNano())
+	s := &Service{
+		store:     ss,
+		budget:    qcache.NewBudget(opts.CacheBytesTotal),
+		workers:   workers,
+		flight:    obsv.NewFlight(opts.FlightRecords, opts.SlowQuery),
+		logger:    logger,
+		started:   time.Now(),
+		cursorTTL: ttl,
+		allocs0:   heapAllocObjects(),
+	}
 	autoCfg := core.AutoConfig{Adaptive: !opts.StaticAuto, Epsilon: opts.AutoEpsilon}
 	if autoCfg.Epsilon <= 0 {
 		autoCfg.Epsilon = core.DefaultAutoEpsilon
 	}
 	for i := 0; i < ss.NumShards(); i++ {
-		s.shards = append(s.shards, &svcShard{
-			index:      i,
-			part:       ss.Part(i),
-			cache:      qcache.NewShared(opts.CacheSize, opts.CacheBytes, s.budget),
-			engines:    make(map[string]engineEntry),
-			generation: seed,
-			autoCfg:    autoCfg,
+		sh := &svcShard{
+			index:   i,
+			part:    ss.Part(i),
+			cache:   qcache.NewShared(opts.CacheSize, opts.CacheBytes, s.budget),
+			engines: make(map[string]engineEntry),
+			autoCfg: autoCfg,
+		}
+		// When a generation's last reader drains, drop its engine and its
+		// slice of the compiled-query cache — the serving-layer half of
+		// the store's generation GC.
+		sh.part.OnRetire(func(id string, gen uint64) {
+			key := engineKey(id, gen)
+			sh.lock()
+			delete(sh.engines, key)
+			sh.mu.Unlock()
+			sh.cache.RemovePrefix(key + "\x00")
 		})
+		s.shards = append(s.shards, sh)
 	}
 	return s
 }
@@ -225,41 +245,95 @@ func (sh *svcShard) lock() {
 	}
 }
 
-// engine returns the shard's engine for docID and its generation,
-// creating it on first use and rebuilding it whenever the partition's
-// handle for the id has changed (evict + reload through Store()
-// directly). Engines share the shard's LRU, namespaced by document id
-// and generation.
-func (sh *svcShard) engine(docID string) (*core.Engine, uint64, error) {
-	sh.lock()
-	defer sh.mu.Unlock()
-	h, ok := sh.part.Get(docID)
-	if !ok {
-		delete(sh.engines, docID)
-		return nil, 0, fmt.Errorf("service: %w: %q", ErrNoDocument, docID)
-	}
-	if ent, ok := sh.engines[docID]; ok && ent.handle == h {
-		return ent.engine, ent.gen, nil
-	}
-	sh.generation++
-	prefix := docID + "\x00" + strconv.FormatUint(sh.generation, 10) + "\x00"
-	e := core.NewWithIndex(h.Doc, h.Index, sh.cache, prefix)
-	e.ConfigureAuto(sh.autoCfg)
-	sh.engines[docID] = engineEntry{handle: h, engine: e, gen: sh.generation}
-	return e, sh.generation, nil
+// engineKey names one (document, generation) engine — also the prefix
+// (plus a trailing NUL) of its compiled-query cache namespace.
+func engineKey(docID string, gen uint64) string {
+	return docID + "\x00" + strconv.FormatUint(gen, 10)
 }
 
-// EvictDoc removes a document from its shard, drops the shard's engine,
-// and purges its compiled automata from the shard's LRU. It reports
-// whether the document was resident.
+// engine returns the shard's engine for one resident (document,
+// generation) handle, creating it on first use. Engines share the
+// shard's LRU, namespaced by document id and store generation, so a
+// patched document's old and new generations compile and cache
+// independently.
+func (sh *svcShard) engine(h *store.Handle) *core.Engine {
+	key := engineKey(h.ID, h.Gen)
+	sh.lock()
+	defer sh.mu.Unlock()
+	if ent, ok := sh.engines[key]; ok && ent.handle == h {
+		return ent.engine
+	}
+	e := core.NewWithIndex(h.Doc, h.Index, sh.cache, key+"\x00")
+	e.ConfigureAuto(sh.autoCfg)
+	sh.engines[key] = engineEntry{handle: h, engine: e}
+	return e
+}
+
+// EvictDoc removes a document from its shard, drops the shard's engines
+// for every generation of it, and purges its compiled automata from the
+// shard's LRU. The store's retire callbacks do most of this per
+// generation already; the prefix sweeps are the belt-and-braces for
+// engines raced into existence against a retiring generation. It
+// reports whether the document was resident.
 func (s *Service) EvictDoc(docID string) bool {
 	sh := s.shardFor(docID)
 	ok := sh.part.Evict(docID)
+	prefix := docID + "\x00"
 	sh.lock()
-	delete(sh.engines, docID)
+	for key := range sh.engines {
+		if strings.HasPrefix(key, prefix) {
+			delete(sh.engines, key)
+		}
+	}
 	sh.mu.Unlock()
-	sh.cache.RemovePrefix(docID + "\x00")
+	sh.cache.RemovePrefix(prefix)
 	return ok
+}
+
+// PatchDocRequest is one subtree mutation of a resident document (the
+// body of PATCH /docs/{id}).
+type PatchDocRequest struct {
+	// Op is "insert", "delete" or "replace".
+	Op string `json:"op"`
+	// Node is the patch target: the subtree root to delete or replace,
+	// or the parent element receiving an insert.
+	Node tree.NodeID `json:"node"`
+	// Before (insert only) is the existing child of Node the fragment is
+	// inserted before; omitted appends after the last child.
+	Before *tree.NodeID `json:"before,omitempty"`
+	// XML is the grafted fragment (insert/replace): one element.
+	XML string `json:"xml,omitempty"`
+	// BaseGen, when non-zero, makes the patch conditional: it applies
+	// only while BaseGen is still the latest generation (optimistic
+	// concurrency; HTTP 409 on conflict).
+	BaseGen uint64 `json:"base_gen,omitempty"`
+}
+
+// PatchDoc applies one subtree mutation, publishing a new MVCC
+// generation of the document with incrementally maintained indexes.
+// Readers of older generations (open cursors, asof queries) are
+// untouched. Returns the new generation's stats.
+func (s *Service) PatchDoc(docID string, req PatchDocRequest) (store.Stats, error) {
+	op, ok := tree.ParsePatchOp(req.Op)
+	if !ok {
+		return store.Stats{}, fmt.Errorf("service: unknown patch op %q (want insert, delete or replace)", req.Op)
+	}
+	pt := tree.Patch{Op: op, Node: req.Node, Before: tree.Nil}
+	if req.Before != nil {
+		pt.Before = *req.Before
+	}
+	if req.XML != "" {
+		frag, err := xmlparse.Parse([]byte(req.XML))
+		if err != nil {
+			return store.Stats{}, fmt.Errorf("service: parsing patch fragment: %w", err)
+		}
+		pt.Frag = frag
+	}
+	h, err := s.store.Patch(docID, req.BaseGen, pt)
+	if err != nil {
+		return store.Stats{}, err
+	}
+	return h.Stats, nil
 }
 
 // Request is one query against one resident document.
@@ -278,10 +352,18 @@ type Request struct {
 	Limit int `json:"limit,omitempty"`
 	// Cursor resumes a paged answer: the opaque Next token of the
 	// previous page. The token pins the owning shard and the document
-	// generation; resuming after an evict/reload — or after the corpus
-	// was resharded and the id relocated — fails with a stale-cursor
-	// error (HTTP 410) rather than serving a page of a different tree.
+	// generation, and holds a store lease on that generation, so the
+	// page loop keeps reading the tree it started on even while the
+	// document is patched underneath it. The resume fails with a
+	// stale-cursor error (HTTP 410) only once the pinned generation is
+	// actually gone — garbage-collected after the lease expired, evicted,
+	// reloaded, or relocated by a reshard.
 	Cursor string `json:"cursor,omitempty"`
+	// AsOf pins the query to one MVCC generation of the document (a Gen
+	// from an earlier response) instead of the latest — time travel
+	// across patches, for as long as that generation stays live. Zero
+	// means latest. The HTTP layer also sets it from ?asof=.
+	AsOf uint64 `json:"asof,omitempty"`
 	// Explain asks for an EXPLAIN-ANALYZE-style profile of this query:
 	// the Response (or stream trailer) carries a span tree with
 	// per-phase timings and engine counters. The HTTP layer also sets
@@ -298,6 +380,9 @@ type Response struct {
 	Doc      string `json:"doc"`
 	Query    string `json:"query"`
 	Strategy string `json:"strategy,omitempty"`
+	// Gen is the MVCC generation the answer was computed against; pass
+	// it back as AsOf to keep reading this exact tree across patches.
+	Gen uint64 `json:"gen,omitempty"`
 	// Count is the full answer cardinality, even when Nodes is truncated.
 	Count int           `json:"count"`
 	Nodes []tree.NodeID `json:"nodes"`
@@ -322,12 +407,16 @@ type Response struct {
 // evalState is the outcome of prepare: everything Eval and Stream need
 // to page or stream an answer.
 type evalState struct {
-	resp  Response
-	sh    *svcShard
-	cur   *core.Cursor
-	eng   *core.Engine
-	gen   uint64
-	timer timer
+	resp Response
+	sh   *svcShard
+	cur  *core.Cursor
+	eng  *core.Engine
+	gen  uint64
+	// fromCursor marks a resumed request: on successful consumption the
+	// incoming token's lease on gen is redeemed (after any new token's
+	// lease is issued).
+	fromCursor bool
+	timer      timer
 	// tr is non-nil for explained requests; root is its open
 	// whole-request span.
 	tr   *obsv.Trace
@@ -335,11 +424,12 @@ type evalState struct {
 }
 
 // prepare runs the shared front half of Eval and Stream: shard routing,
-// strategy parsing, engine lookup, cursor-token validation (shard,
-// document and generation must all match), evaluation, and seeking to
-// the resume position. On failure the returned state's resp.Err is set
-// (and metrics recorded on the owning shard); on success resp carries
-// Strategy/Count/Visited.
+// strategy parsing, cursor-token validation (shard and document must
+// match; the token's generation becomes the target), generation-pinned
+// handle lookup, engine lookup, evaluation, and seeking to the resume
+// position. On failure the returned state's resp.Err is set (and
+// metrics recorded on the owning shard); on success resp carries
+// Gen/Strategy/Count/Visited.
 func (s *Service) prepare(req Request) evalState {
 	st := evalState{resp: Response{Doc: req.Doc, Query: req.Query}, timer: startTimer()}
 	if req.Explain {
@@ -358,15 +448,9 @@ func (s *Service) prepare(req Request) evalState {
 		sh.metrics.recordError()
 		return st
 	}
-	sp = st.tr.Begin(obsv.SpanEngine)
-	eng, gen, err := sh.engine(req.Doc)
-	st.tr.End(sp)
-	if err != nil {
-		st.resp.Err = err.Error()
-		st.resp.notFound = errors.Is(err, ErrNoDocument)
-		sh.metrics.recordError()
-		return st
-	}
+	// The target generation: the cursor token's, an explicit asof, or
+	// zero for latest.
+	tgen := req.AsOf
 	var after tree.NodeID
 	haveAfter := false
 	if req.Cursor != "" {
@@ -392,15 +476,49 @@ func (s *Service) prepare(req Request) evalState {
 			sh.metrics.recordError()
 			return st
 		}
-		if cgen != gen {
-			st.resp.Err = fmt.Sprintf("stale cursor: document %q was reloaded since the cursor was issued", req.Doc)
-			st.resp.staleCursor = true
+		if req.AsOf != 0 && req.AsOf != cgen {
+			st.resp.Err = fmt.Sprintf("cursor pins generation %d but the request asks asof %d", cgen, req.AsOf)
 			sh.metrics.recordError()
 			return st
 		}
+		tgen = cgen
 		after, haveAfter = clast, true
+		st.fromCursor = true
 		st.tr.End(sp)
 	}
+	sp = st.tr.Begin(obsv.SpanEngine)
+	var h *store.Handle
+	if tgen == 0 {
+		var ok bool
+		if h, ok = sh.part.Get(req.Doc); !ok {
+			st.tr.End(sp)
+			st.resp.Err = fmt.Sprintf("service: %v: %q", ErrNoDocument, req.Doc)
+			st.resp.notFound = true
+			sh.metrics.recordError()
+			return st
+		}
+	} else {
+		var err error
+		if h, err = sh.part.GetAsOf(req.Doc, tgen); err != nil {
+			st.tr.End(sp)
+			switch {
+			case errors.Is(err, store.ErrNotFound):
+				st.resp.Err = fmt.Sprintf("service: %v: %q", ErrNoDocument, req.Doc)
+				st.resp.notFound = true
+			case st.fromCursor:
+				st.resp.Err = fmt.Sprintf("stale cursor: generation %d of document %q is gone (patched away, evicted, or the cursor lease expired)", tgen, req.Doc)
+				st.resp.staleCursor = true
+			default:
+				st.resp.Err = fmt.Sprintf("generation %d of document %q is gone (no live cursor or lease kept it)", tgen, req.Doc)
+				st.resp.staleCursor = true
+			}
+			sh.metrics.recordError()
+			return st
+		}
+	}
+	eng := sh.engine(h)
+	st.tr.End(sp)
+	st.resp.Gen = h.Gen
 	cur, err := eng.EvalCursorTrace(req.Query, strat, st.tr)
 	if err != nil {
 		st.resp.ElapsedUS = st.timer.elapsedMicros()
@@ -416,7 +534,7 @@ func (s *Service) prepare(req Request) evalState {
 	st.resp.Strategy = cur.Strategy().String()
 	st.resp.Count = cur.Count()
 	st.resp.Visited = cur.Visited()
-	st.cur, st.eng, st.gen = cur, eng, gen
+	st.cur, st.eng, st.gen = cur, eng, h.Gen
 	return st
 }
 
@@ -560,9 +678,17 @@ func (s *Service) Eval(req Request) Response {
 		nodes = append(nodes, v)
 	}
 	// A non-empty remainder means this page was cut short: hand out a
-	// resumption token pinned to the owning shard and engine generation.
+	// resumption token pinned to the owning shard and store generation,
+	// with a lease keeping that generation alive for the token's TTL.
 	if _, more := st.cur.Next(); more && len(nodes) > 0 {
 		resp.Next = encodeCursor(st.sh.index, req.Doc, st.gen, nodes[len(nodes)-1])
+		_ = st.sh.part.Lease(req.Doc, st.gen, time.Now().Add(s.cursorTTL))
+	}
+	// Only now — with any successor token's lease in place — release the
+	// consumed token's lease. Failed resumes never redeem: the client may
+	// retry the same token until its lease expires.
+	if st.fromCursor {
+		st.sh.part.Redeem(req.Doc, st.gen)
 	}
 	resp.Nodes = nodes
 	if req.Paths {
@@ -649,6 +775,9 @@ type ShardStats struct {
 	// rate, estimate error, and the most-decided shapes with their
 	// per-candidate estimates and winner reasons.
 	Auto core.SelectorStats `json:"auto"`
+	// MVCC reports this shard's generation chains: live and pinned
+	// generations, patches applied, generations retired.
+	MVCC store.MVCCStats `json:"mvcc"`
 }
 
 // Stats is a point-in-time snapshot of the whole service plus the
@@ -668,6 +797,10 @@ type Stats struct {
 	PoolHitRate float64        `json:"ctx_pool_hit_rate"`
 	// Auto aggregates the Auto selector tables across all shards.
 	Auto core.SelectorStats `json:"auto"`
+	// MVCC aggregates the generation chains across all shards. Taking
+	// the snapshot sweeps expired cursor leases, so stats/metrics
+	// scraping doubles as the lease janitor.
+	MVCC store.MVCCStats `json:"mvcc"`
 	// HeapAllocObjects is the process's cumulative heap allocations
 	// since the service started; AllocsPerQuery divides it by the
 	// query total — the observed (process-wide, so conservative)
@@ -702,6 +835,7 @@ func (s *Service) Stats() Stats {
 		}
 		sh.mu.Unlock()
 		auto.Finalize()
+		mvcc := sh.part.MVCC()
 		ss := ShardStats{
 			Shard:         sh.index,
 			Documents:     len(docs),
@@ -716,9 +850,11 @@ func (s *Service) Stats() Stats {
 			Pool:          pool,
 			PoolHitRate:   pool.HitRate(),
 			Auto:          auto,
+			MVCC:          mvcc,
 		}
 		pool.AddTo(&out.Pool)
 		auto.AddTo(&out.Auto)
+		mvcc.AddTo(&out.MVCC)
 		ss.LockWaitTotalNS = sh.lockWaitNS.Load()
 		if ss.LockAcquires > 0 {
 			ss.LockWaitMeanNS = ss.LockWaitTotalNS / int64(ss.LockAcquires)

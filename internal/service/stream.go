@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/obsv"
 	"repro/internal/tree"
@@ -26,6 +27,9 @@ type StreamHeader struct {
 	Doc      string `json:"doc"`
 	Query    string `json:"query"`
 	Strategy string `json:"strategy"`
+	// Gen is the MVCC generation the stream reads; pass it back as AsOf
+	// to keep reading this exact tree across patches.
+	Gen uint64 `json:"gen,omitempty"`
 	// Count is the full answer cardinality (an O(1) metadata read on
 	// rope-backed answers).
 	Count   int `json:"count"`
@@ -98,6 +102,7 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 		Doc:      req.Doc,
 		Query:    req.Query,
 		Strategy: st.resp.Strategy,
+		Gen:      st.resp.Gen,
 		Count:    st.resp.Count,
 		Visited:  st.resp.Visited,
 	}
@@ -172,6 +177,14 @@ func (s *Service) Stream(w io.Writer, req Request, chunkSize int) *Response {
 	}
 	if _, more := st.cur.Next(); more && sent > 0 {
 		trailer.Cursor = encodeCursor(st.sh.index, req.Doc, st.gen, last)
+		_ = st.sh.part.Lease(req.Doc, st.gen, time.Now().Add(s.cursorTTL))
+	}
+	// The incoming token was consumed only if the stream completed:
+	// redeem its lease after the successor's is in place. Aborted
+	// streams never redeem — the client may retry the same token until
+	// its lease expires.
+	if st.fromCursor {
+		st.sh.part.Redeem(req.Doc, st.gen)
 	}
 	trailer.Explain = s.explain(&st, &req, &st.resp)
 	writeLine(trailer)

@@ -3,6 +3,7 @@ package shard
 import (
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/store"
 	"repro/internal/tree"
@@ -82,6 +83,36 @@ func (s *Store) Get(id string) (*store.Handle, bool) {
 // Evict removes id from its owning shard, reporting whether it was present.
 func (s *Store) Evict(id string) bool {
 	return s.part(id).Evict(id)
+}
+
+// Patch applies a subtree patch on the owning shard, publishing a new
+// generation of id (see store.Store.Patch).
+func (s *Store) Patch(id string, base uint64, pt tree.Patch) (*store.Handle, error) {
+	return s.part(id).Patch(id, base, pt)
+}
+
+// GetAsOf returns a specific generation of id from its owning shard.
+func (s *Store) GetAsOf(id string, gen uint64) (*store.Handle, error) {
+	return s.part(id).GetAsOf(id, gen)
+}
+
+// Lease keeps (id, gen) readable until the deadline on the owning shard.
+func (s *Store) Lease(id string, gen uint64, until time.Time) error {
+	return s.part(id).Lease(id, gen, until)
+}
+
+// Redeem releases one outstanding lease on (id, gen).
+func (s *Store) Redeem(id string, gen uint64) {
+	s.part(id).Redeem(id, gen)
+}
+
+// MVCC aggregates generation-chain statistics across all shards.
+func (s *Store) MVCC() store.MVCCStats {
+	var out store.MVCCStats
+	for _, p := range s.parts {
+		p.MVCC().AddTo(&out)
+	}
+	return out
 }
 
 // Len reports the number of resident documents across all shards.

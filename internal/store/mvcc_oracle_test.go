@@ -1,0 +1,419 @@
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/qcache"
+	"repro/internal/store"
+	"repro/internal/tree"
+)
+
+// The MVCC mutation oracle: random seeded patch sequences are applied
+// through Store.Patch — the incremental path (array splice, index
+// splice, BP bit splice) — and after every step the patched
+// generation's index, succinct view and query answers are compared
+// against a parse-from-scratch rebuild of the same document. A failing
+// sequence is shrunk by greedy step removal (delta debugging) before
+// being reported, so the log shows a minimal reproducer, not a
+// 25-step haystack.
+
+// oracleLabels is the alphabet of generated documents and fragments.
+var oracleLabels = []string{"a", "b", "c", "item", "name"}
+
+// oracleQueries covers the answer shapes the engine distinguishes:
+// child and descendant steps, chains (hybrid/TDSTA eligible),
+// predicates, and absent-label short-circuits.
+var oracleQueries = []string{
+	"//a",
+	"//a/b",
+	"//a//c",
+	"//item//name",
+	"//b[c]",
+	"//name",
+}
+
+// oracleStrategies is every forceable strategy plus Auto; strategies
+// that reject a query must reject it identically on both engines.
+var oracleStrategies = []core.Strategy{
+	core.Auto, core.Naive, core.Jumping, core.Memoized,
+	core.Optimized, core.Hybrid, core.TopDownDet, core.Stepwise,
+}
+
+// randDoc builds a random document over oracleLabels.
+func randDoc(rng *rand.Rand) *tree.Document {
+	b := tree.NewBuilder()
+	var gen func(depth int)
+	gen = func(depth int) {
+		b.Open(oracleLabels[rng.Intn(len(oracleLabels))])
+		kids := rng.Intn(4)
+		if depth >= 4 {
+			kids = 0
+		}
+		for i := 0; i < kids; i++ {
+			if rng.Intn(5) == 0 {
+				b.Text(fmt.Sprintf("t%d", rng.Intn(50)))
+			} else {
+				gen(depth + 1)
+			}
+		}
+		b.Close()
+	}
+	gen(0)
+	return b.MustFinish()
+}
+
+// randPatch draws one patch applicable to d.
+func randPatch(rng *rand.Rand, d *tree.Document) tree.Patch {
+	n := d.NumNodes()
+	frag := randDoc(rng)
+	for {
+		switch rng.Intn(3) {
+		case 0: // insert
+			parent := tree.NodeID(1 + rng.Intn(n-1))
+			if d.Label(parent) == tree.LabelText {
+				continue
+			}
+			before := tree.Nil
+			if rng.Intn(2) == 0 && d.FirstChild(parent) != tree.Nil {
+				var kids []tree.NodeID
+				for c := d.FirstChild(parent); c != tree.Nil; c = d.NextSibling(c) {
+					kids = append(kids, c)
+				}
+				before = kids[rng.Intn(len(kids))]
+			}
+			return tree.Patch{Op: tree.OpInsert, Node: parent, Before: before, Frag: frag}
+		case 1: // delete
+			v := tree.NodeID(1 + rng.Intn(n-1))
+			if v == d.DocumentElement() {
+				continue
+			}
+			return tree.Patch{Op: tree.OpDelete, Node: v, Before: tree.Nil}
+		default: // replace
+			v := tree.NodeID(1 + rng.Intn(n-1))
+			return tree.Patch{Op: tree.OpReplace, Node: v, Before: tree.Nil, Frag: frag}
+		}
+	}
+}
+
+// evalAll materializes one query under one strategy.
+func evalAll(eng *core.Engine, q string, s core.Strategy) ([]tree.NodeID, error) {
+	cur, err := eng.EvalCursor(q, s)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []tree.NodeID
+	buf := make([]tree.NodeID, 64)
+	for {
+		n := cur.NextBatch(buf)
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// checkHandle compares one patched generation against a from-scratch
+// rebuild: index contents, succinct view, and every (query, strategy)
+// answer.
+func checkHandle(h *store.Handle) error {
+	d := h.Doc
+	// Jumping index: occurrence lists and binEnd, entry for entry.
+	fresh := index.New(d)
+	sigma := d.Names().Size()
+	for l := 0; l < sigma; l++ {
+		got := h.Index.Occurrences(tree.LabelID(l))
+		want := fresh.Occurrences(tree.LabelID(l))
+		if len(got) != len(want) {
+			return fmt.Errorf("index occ[%d]: %d entries, want %d", l, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("index occ[%d][%d] = %d, want %d", l, i, got[i], want[i])
+			}
+		}
+	}
+	for v := 0; v < d.NumNodes(); v++ {
+		if got, want := h.Index.BinEnd(tree.NodeID(v)), fresh.BinEnd(tree.NodeID(v)); got != want {
+			return fmt.Errorf("index binEnd[%d] = %d, want %d", v, got, want)
+		}
+	}
+	// Succinct view: excess sequence (hence every bit) plus navigation.
+	gs, ws := h.Succinct(), tree.NewSuccinct(d)
+	if gs.NumNodes() != ws.NumNodes() {
+		return fmt.Errorf("succinct nodes = %d, want %d", gs.NumNodes(), ws.NumNodes())
+	}
+	for i := 0; i < 2*ws.NumNodes(); i++ {
+		if gs.Excess(i) != ws.Excess(i) {
+			return fmt.Errorf("succinct excess(%d) = %d, want %d", i, gs.Excess(i), ws.Excess(i))
+		}
+	}
+	for v := tree.NodeID(0); int(v) < ws.NumNodes(); v++ {
+		if gs.OpenPos(v) != ws.OpenPos(v) || gs.Parent(v) != ws.Parent(v) ||
+			gs.FirstChild(v) != ws.FirstChild(v) || gs.NextSibling(v) != ws.NextSibling(v) ||
+			gs.LastDesc(v) != ws.LastDesc(v) || gs.Depth(v) != ws.Depth(v) {
+			return fmt.Errorf("succinct navigation differs at node %d", v)
+		}
+	}
+	// Query answers: the engine over the incrementally maintained index
+	// must agree with an engine whose index was built from scratch, for
+	// every strategy (Auto's short-circuits read the index, so a wrong
+	// occurrence list shows up as a wrong empty answer here).
+	engInc := core.NewWithIndex(d, h.Index, qcache.New(qcache.DefaultCapacity), "")
+	engFresh := core.New(d)
+	for _, q := range oracleQueries {
+		for _, s := range oracleStrategies {
+			got, gerr := evalAll(engInc, q, s)
+			want, werr := evalAll(engFresh, q, s)
+			if (gerr == nil) != (werr == nil) {
+				return fmt.Errorf("%s %v: incremental err=%v, fresh err=%v", q, s, gerr, werr)
+			}
+			if gerr != nil {
+				continue
+			}
+			if len(got) != len(want) {
+				return fmt.Errorf("%s %v: %d nodes, want %d", q, s, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return fmt.Errorf("%s %v: node[%d] = %d, want %d", q, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// errInapplicable marks a candidate sequence whose patches no longer
+// fit the document they are applied to (a shrink artifact, not a bug).
+var errInapplicable = errors.New("sequence inapplicable")
+
+// runSequence replays patches through a fresh store, checking every
+// generation. The returned error is errInapplicable when a patch
+// cannot apply (only possible for shrunk subsequences), or a wrapped
+// invariant failure.
+func runSequence(base *tree.Document, patches []tree.Patch) error {
+	s := store.New()
+	if _, err := s.Add("d", base, store.SourceDirect); err != nil {
+		return fmt.Errorf("seed: %w", err)
+	}
+	for i, pt := range patches {
+		h, err := s.Patch("d", 0, pt)
+		if err != nil {
+			return fmt.Errorf("step %d: %w", i, errInapplicable)
+		}
+		if err := checkHandle(h); err != nil {
+			return fmt.Errorf("step %d (%s node %d): %w", i, pt.Op, pt.Node, err)
+		}
+	}
+	return nil
+}
+
+// shrink greedily removes steps while the sequence still fails with a
+// real invariant error (inapplicable candidates are kept out).
+func shrink(base *tree.Document, patches []tree.Patch) []tree.Patch {
+	cur := patches
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]tree.Patch{}, cur[:i]...), cur[i+1:]...)
+			if err := runSequence(base, cand); err != nil && !errors.Is(err, errInapplicable) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+func describe(patches []tree.Patch) string {
+	var b strings.Builder
+	for i, pt := range patches {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s node=%d before=%d", pt.Op, pt.Node, pt.Before)
+		if pt.Frag != nil {
+			fmt.Fprintf(&b, " frag=%s", pt.Frag.XMLString())
+		}
+	}
+	return b.String()
+}
+
+// TestMVCCOracleDifferential is the headline property test: for several
+// seeds, a random patch sequence is applied through the store's
+// incremental path and every intermediate generation is verified —
+// index, succinct view, all-strategy query answers — against a
+// from-scratch rebuild.
+func TestMVCCOracleDifferential(t *testing.T) {
+	steps := 25
+	if testing.Short() {
+		steps = 8
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			base := randDoc(rng)
+			// Generate the sequence by actually applying each patch (a
+			// patch is drawn against the document it will hit).
+			doc := base
+			var patches []tree.Patch
+			for i := 0; i < steps; i++ {
+				pt := randPatch(rng, doc)
+				next, _, err := doc.Apply(pt)
+				if err != nil {
+					t.Fatalf("generating step %d: %v", i, err)
+				}
+				patches = append(patches, pt)
+				doc = next
+			}
+			if err := runSequence(base, patches); err != nil {
+				min := shrink(base, patches)
+				t.Fatalf("seed %d failed: %v\nshrunk to %d step(s): %s\nbase: %s",
+					seed, err, len(min), describe(min), base.XMLString())
+			}
+		})
+	}
+}
+
+// TestMVCCGenerationChain pins the lifecycle rules: pinned generations
+// survive patches, unpinned non-latest generations retire, leases keep
+// generations alive until expiry, base-gen conflicts are rejected, and
+// evict retires everything (pins included).
+func TestMVCCGenerationChain(t *testing.T) {
+	s := store.New()
+	var retired []uint64
+	s.OnRetire(func(id string, gen uint64) { retired = append(retired, gen) })
+
+	rng := rand.New(rand.NewSource(7))
+	base := randDoc(rng)
+	h1, err := s.Add("d", base, store.SourceDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Gen == 0 {
+		t.Fatal("generation must be non-zero")
+	}
+	want1, err := evalAll(core.NewWithIndex(h1.Doc, h1.Index, qcache.New(16), ""), "//a", core.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Pin("d", h1.Gen); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Patch("d", h1.Gen, randPatch(rng, h1.Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := s.Patch("d", 0, randPatch(rng, h2.Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Gen != h1.Gen+1 || h3.Gen != h2.Gen+1 {
+		t.Fatalf("generations must be sequential: %d %d %d", h1.Gen, h2.Gen, h3.Gen)
+	}
+
+	// Wrong base: optimistic concurrency rejects.
+	if _, err := s.Patch("d", h1.Gen, randPatch(rng, h3.Doc)); !errors.Is(err, store.ErrConflict) {
+		t.Fatalf("stale base: err = %v, want ErrConflict", err)
+	}
+	if _, err := s.Patch("nope", 0, randPatch(rng, h3.Doc)); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("missing doc: err = %v, want ErrNotFound", err)
+	}
+
+	// h2 had no pins or leases, so publishing h3 retired it; h1 is
+	// pinned and must still serve its original tree.
+	if _, err := s.GetAsOf("d", h2.Gen); !errors.Is(err, store.ErrGone) {
+		t.Fatalf("unpinned middle generation: err = %v, want ErrGone", err)
+	}
+	hp, err := s.GetAsOf("d", h1.Gen)
+	if err != nil {
+		t.Fatalf("pinned generation: %v", err)
+	}
+	got1, err := evalAll(core.NewWithIndex(hp.Doc, hp.Index, qcache.New(16), ""), "//a", core.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got1) != fmt.Sprint(want1) {
+		t.Fatalf("pinned generation answered %v, want %v", got1, want1)
+	}
+
+	// Unpinning the last reference retires h1.
+	s.Unpin("d", h1.Gen)
+	if _, err := s.GetAsOf("d", h1.Gen); !errors.Is(err, store.ErrGone) {
+		t.Fatalf("after unpin: err = %v, want ErrGone", err)
+	}
+
+	// A lease keeps a superseded generation alive until it expires.
+	if err := s.Lease("d", h3.Gen, time.Now().Add(25*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	h4, err := s.Patch("d", 0, randPatch(rng, h3.Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetAsOf("d", h3.Gen); err != nil {
+		t.Fatalf("leased generation: %v", err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	s.MVCC() // stats snapshot doubles as the lease janitor
+	if _, err := s.GetAsOf("d", h3.Gen); !errors.Is(err, store.ErrGone) {
+		t.Fatalf("after lease expiry: err = %v, want ErrGone", err)
+	}
+
+	// Redeem releases a lease without waiting for the clock.
+	if err := s.Lease("d", h4.Gen, time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	h5, err := s.Patch("d", 0, randPatch(rng, h4.Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetAsOf("d", h4.Gen); err != nil {
+		t.Fatalf("hour-leased generation: %v", err)
+	}
+	s.Redeem("d", h4.Gen)
+	if _, err := s.GetAsOf("d", h4.Gen); !errors.Is(err, store.ErrGone) {
+		t.Fatalf("after redeem: err = %v, want ErrGone", err)
+	}
+
+	// Evict retires everything, pins notwithstanding.
+	if err := s.Pin("d", h5.Gen); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Evict("d") {
+		t.Fatal("evict reported not-present")
+	}
+	if _, err := s.GetAsOf("d", h5.Gen); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("after evict: err = %v, want ErrNotFound", err)
+	}
+
+	// Every generation ever created retired exactly once.
+	seen := map[uint64]int{}
+	for _, g := range retired {
+		seen[g]++
+	}
+	for _, g := range []uint64{h1.Gen, h2.Gen, h3.Gen, h4.Gen, h5.Gen} {
+		if seen[g] != 1 {
+			t.Errorf("generation %d retired %d times, want 1 (all: %v)", g, seen[g], retired)
+		}
+	}
+
+	st := s.MVCC()
+	if st.Patches != 4 {
+		t.Errorf("patches = %d, want 4", st.Patches)
+	}
+	if st.Retired != 5 {
+		t.Errorf("retired = %d, want 5", st.Retired)
+	}
+}

@@ -168,3 +168,92 @@ func TestConcurrentGenerateXMarkSingleFlight(t *testing.T) {
 		t.Errorf("Len = %d, want 1", s.Len())
 	}
 }
+
+// TestSingleFlightEpochFencedByEvict pins the (id, epoch) load-slot
+// keying: an Evict racing an in-flight load must fence that load out.
+// Two regressions hide here. First, a build that finishes after the
+// evict must not publish its pre-evict state — it retries under the
+// current epoch instead. Second, a load that starts after the evict
+// must not wait on (or be answered by) the fenced slot: with id-only
+// keying it would have joined the stale build's slot and returned
+// ErrExists against state that was evicted, leaving the stale tree
+// resident.
+func TestSingleFlightEpochFencedByEvict(t *testing.T) {
+	// blockedLoad starts a load of "d" whose first build blocks until
+	// release is closed; it reports how many times build ran.
+	blockedLoad := func(s *Store, doc *tree.Document, builds *atomic.Int32) (building, release chan struct{}, done func() error) {
+		building = make(chan struct{})
+		release = make(chan struct{})
+		errc := make(chan error, 1)
+		go func() {
+			_, err := s.load("d", SourceDirect, func() (*tree.Document, error) {
+				if builds.Add(1) == 1 {
+					close(building)
+					<-release
+				}
+				return doc, nil
+			})
+			errc <- err
+		}()
+		return building, release, func() error { return <-errc }
+	}
+
+	t.Run("retry-under-new-epoch", func(t *testing.T) {
+		s := New()
+		doc := parsed(t, "<r><old/></r>")
+		var builds atomic.Int32
+		building, release, done := blockedLoad(s, doc, &builds)
+		<-building
+		// The evict lands mid-build: nothing resident yet, but the epoch
+		// fence must still advance so the in-flight build cannot publish
+		// under the retired epoch.
+		s.Evict("d")
+		close(release)
+		// The fenced build's publish is discarded (errSuperseded); with
+		// nothing resident, the loader retries under the new epoch and
+		// the second build publishes.
+		if err := done(); err != nil {
+			t.Fatalf("fenced loader: %v", err)
+		}
+		if n := builds.Load(); n != 2 {
+			t.Fatalf("loader built %d times, want 2 (fenced original + post-evict retry)", n)
+		}
+		if _, ok := s.Get("d"); !ok {
+			t.Fatal("document missing after retried load")
+		}
+	})
+
+	t.Run("post-evict-loader-wins", func(t *testing.T) {
+		s := New()
+		stale := parsed(t, "<r><old/></r>")
+		fresh := parsed(t, "<r><new/></r>")
+		var builds atomic.Int32
+		building, release, done := blockedLoad(s, stale, &builds)
+		<-building
+		s.Evict("d")
+		// A post-evict loader must get its own (id, epoch=1) slot — not
+		// join the fenced build — and win immediately. With id-only slot
+		// keying this load would have blocked on the stale build and the
+		// pre-evict tree would end up resident.
+		if _, err := s.load("d", SourceDirect, func() (*tree.Document, error) { return fresh, nil }); err != nil {
+			t.Fatalf("post-evict load: %v", err)
+		}
+		close(release)
+		// The fenced loader's publish is discarded; its retry finds the
+		// fresh document resident and reports ErrExists without a second
+		// build.
+		if err := done(); !errors.Is(err, ErrExists) {
+			t.Fatalf("fenced loader: err = %v, want ErrExists", err)
+		}
+		h, ok := s.Get("d")
+		if !ok {
+			t.Fatal("document missing")
+		}
+		if got := h.Doc.XMLString(); got != "<r><new></new></r>" {
+			t.Fatalf("resident document = %q: the fenced pre-evict build leaked through", got)
+		}
+		if n := builds.Load(); n != 1 {
+			t.Fatalf("fenced loader built %d times, want 1 (retry short-circuits on ErrExists)", n)
+		}
+	})
+}

@@ -1,10 +1,13 @@
 // Package store is the document registry of the multi-document query
-// service: a concurrency-safe map from document id to an immutable
-// loaded document plus its jumping index. Documents arrive from three
-// sources — XML parsing, the binary tree serialization
+// service: a concurrency-safe map from document id to a *generation
+// chain* — the MVCC history of one logical document. Documents arrive
+// from three sources — XML parsing, the binary tree serialization
 // (tree.WriteTo/tree.ReadDocument), or XMark generation — and the store
-// builds the index.Index exactly once per document, at load time, so
-// every engine and every query over that document shares it.
+// builds the index.Index exactly once per generation: at load time for
+// generation one, and incrementally (array splice + index splice, see
+// Patch in mvcc.go) for every patched generation after it. Each
+// generation is immutable; readers pin the one they started on and are
+// never invalidated by later patches.
 package store
 
 import (
@@ -15,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/index"
@@ -27,6 +31,16 @@ import (
 // callers branch on it with errors.Is (the HTTP layer maps it to 409).
 var ErrExists = errors.New("already loaded")
 
+// ErrNotFound is wrapped by generation-chain operations (Patch,
+// GetAsOf, Lease) against ids not resident in the store; the HTTP
+// layer maps it to 404.
+var ErrNotFound = errors.New("no such document")
+
+// errSuperseded is the internal signal that a build finished under an
+// epoch an Evict has since retired: the load loop discards the build
+// and retries under the current epoch instead of publishing stale state.
+var errSuperseded = errors.New("load superseded by evict")
+
 // Source identifies how a document entered the store.
 type Source string
 
@@ -36,11 +50,19 @@ const (
 	SourceBinary Source = "binary"
 	SourceXMark  Source = "xmark"
 	SourceDirect Source = "direct"
+	// SourcePatch marks generations derived by an incremental subtree
+	// patch rather than a from-source load.
+	SourcePatch Source = "patch"
 )
 
-// Stats describes one resident document.
+// Stats describes one resident document generation.
 type Stats struct {
 	ID string `json:"id"`
+	// Gen is the generation this snapshot describes. Generations are
+	// per-document, strictly increasing, and entropy-seeded per load so
+	// a generation-pinned token can never alias a different incarnation
+	// of the same id (including across daemon restarts).
+	Gen uint64 `json:"gen"`
 	// Nodes counts all tree nodes including the synthetic root.
 	Nodes int `json:"nodes"`
 	// Labels is the alphabet size |Σ| (distinct element names plus the
@@ -51,23 +73,73 @@ type Stats struct {
 	MemBytes int64     `json:"mem_bytes"`
 	Source   Source    `json:"source"`
 	LoadedAt time.Time `json:"loaded_at"`
+	// LiveGens counts this document's generations still readable
+	// (latest plus everything pinned by cursors or leases); filled by
+	// List, not meaningful on a Handle's own Stats.
+	LiveGens int `json:"live_gens,omitempty"`
 }
 
-// Handle is an immutable view of one resident document. The document
-// and index never change after load, so a Handle stays valid after the
-// entry is evicted from the store.
+// succCell lazily caches a generation's balanced-parentheses view. It
+// sits behind a pointer so Handle stays trivially copyable.
+type succCell struct {
+	p atomic.Pointer[tree.Succinct]
+}
+
+// Handle is an immutable view of one generation of one resident
+// document. The document and index never change after the generation is
+// built, so a Handle stays valid after the generation is retired or the
+// entry evicted from the store.
 type Handle struct {
-	ID    string
+	ID string
+	// Gen is this generation's id within the document's chain.
+	Gen   uint64
 	Doc   *tree.Document
 	Index *index.Index
 	Stats Stats
+	succ  *succCell
+}
+
+// Succinct returns the generation's balanced-parentheses view, building
+// it on first use. Patched generations whose parent already built one
+// inherit a bit-spliced copy instead (see Patch), so the build cost is
+// paid at most once per load chain.
+func (h *Handle) Succinct() *tree.Succinct {
+	if h.succ == nil {
+		return tree.NewSuccinct(h.Doc)
+	}
+	if s := h.succ.p.Load(); s != nil {
+		return s
+	}
+	s := tree.NewSuccinct(h.Doc)
+	// A racing builder produces an identical view; either may win.
+	h.succ.p.Store(s)
+	return s
 }
 
 // Store is a concurrency-safe registry of loaded documents.
 type Store struct {
-	mu      sync.RWMutex
-	docs    map[string]*Handle
-	loading map[string]*loadCall
+	mu   sync.RWMutex
+	docs map[string]*chain
+	// epochs fences the single-flight load slots against eviction: the
+	// per-id epoch bumps on every Evict, load slots are keyed (id,
+	// epoch), and a build may only publish into the epoch it started
+	// under. Keying on the id alone let a patch/evict racing a reload
+	// hand a waiting loser a stale build.
+	epochs  map[string]uint64
+	loading map[loadKey]*loadCall
+	// retireFn is invoked (outside all store locks) for every retired
+	// (id, generation); the serving layer uses it to drop the matching
+	// engine and compiled-query cache entries.
+	retireFn func(id string, gen uint64)
+	patches  atomic.Uint64
+	retired  atomic.Uint64
+}
+
+// loadKey identifies one single-flight load slot: the document id plus
+// the eviction epoch the load started under.
+type loadKey struct {
+	id    string
+	epoch uint64
 }
 
 // loadCall is one in-flight load other loaders of the same id wait on:
@@ -82,17 +154,30 @@ type loadCall struct {
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		docs:    make(map[string]*Handle),
-		loading: make(map[string]*loadCall),
+		docs:    make(map[string]*chain),
+		epochs:  make(map[string]uint64),
+		loading: make(map[loadKey]*loadCall),
 	}
+}
+
+// OnRetire registers the callback invoked for every retired
+// (document, generation) — after the last pin and lease of a non-latest
+// generation drain, or for all generations on evict. The callback runs
+// outside store locks. Register before serving traffic; later retires
+// use the latest registration.
+func (s *Store) OnRetire(fn func(id string, gen uint64)) {
+	s.mu.Lock()
+	s.retireFn = fn
+	s.mu.Unlock()
 }
 
 // load is the single-flight core of every registration path. build runs
 // outside the lock (concurrent loads of distinct ids overlap), but at
-// most one build per id is ever in flight: a concurrent load of the
-// same id waits, and when the winner succeeds the loser returns
+// most one build per (id, epoch) is ever in flight: a concurrent load
+// of the same id waits, and when the winner succeeds the loser returns
 // ErrExists without having parsed or indexed anything. If the winner
-// fails, one waiter takes over the load slot and runs its own build.
+// fails — or its epoch was retired by an Evict mid-build — the waiter
+// (or the winner itself) retries for the current epoch's load slot.
 func (s *Store) load(id string, src Source, build func() (*tree.Document, error)) (*Handle, error) {
 	if id == "" {
 		return nil, fmt.Errorf("store: empty document id")
@@ -108,42 +193,53 @@ func (s *Store) load(id string, src Source, build func() (*tree.Document, error)
 			s.mu.Unlock()
 			return nil, fmt.Errorf("store: document %q %w", id, ErrExists)
 		}
-		if c, inflight := s.loading[id]; inflight {
+		ep := s.epochs[id]
+		key := loadKey{id, ep}
+		if c, inflight := s.loading[key]; inflight {
 			s.mu.Unlock()
 			<-c.done
 			if c.err == nil {
 				return nil, fmt.Errorf("store: document %q %w", id, ErrExists)
 			}
-			// The winner failed (e.g. a parse error); this source may
-			// still be loadable — retry for the load slot.
+			// The winner failed (e.g. a parse error) or was superseded
+			// by an evict; this source may still be loadable — retry
+			// for the current load slot.
 			continue
 		}
 		c := &loadCall{done: make(chan struct{})}
-		s.loading[id] = c
+		s.loading[key] = c
 		s.mu.Unlock()
 
-		h, err := s.runBuild(id, src, build, c)
-		if err != nil {
-			return nil, err
+		h, err := s.runBuild(id, src, build, c, ep)
+		if errors.Is(err, errSuperseded) {
+			continue
 		}
-		return h, nil
+		return h, err
 	}
 }
 
-// runBuild executes one build while holding the load slot for id,
-// publishing the handle and waking waiters. A panicking build (or
-// parser) must still release the slot and wake waiters with an error,
-// or every later load of the id would wedge; the panic is re-raised.
-func (s *Store) runBuild(id string, src Source, build func() (*tree.Document, error), c *loadCall) (h *Handle, err error) {
+// runBuild executes one build while holding the load slot for (id,
+// epoch), publishing the generation chain and waking waiters. A
+// panicking build (or parser) must still release the slot and wake
+// waiters with an error, or every later load of the id would wedge; the
+// panic is re-raised.
+func (s *Store) runBuild(id string, src Source, build func() (*tree.Document, error), c *loadCall, ep uint64) (h *Handle, err error) {
 	finished := false
 	defer func() {
 		if !finished {
 			err = fmt.Errorf("store: loading %q panicked", id)
 		}
 		s.mu.Lock()
-		delete(s.loading, id)
+		delete(s.loading, loadKey{id, ep})
 		if err == nil {
-			s.docs[id] = h
+			if s.epochs[id] != ep {
+				// An Evict landed while this build ran: the slot's epoch
+				// is dead, and publishing would clobber newer state with
+				// a stale build. Discard; the load loop retries.
+				h, err = nil, errSuperseded
+			} else {
+				s.docs[id] = newChain(h)
+			}
 		}
 		s.mu.Unlock()
 		c.err = err
@@ -159,8 +255,9 @@ func (s *Store) runBuild(id string, src Source, build func() (*tree.Document, er
 
 // buildHandle constructs the immutable handle, building the index —
 // the expensive step the single-flight protocol exists to deduplicate.
+// The generation is stamped at publish time (newChain).
 func buildHandle(id string, d *tree.Document, src Source) *Handle {
-	h := &Handle{ID: id, Doc: d, Index: index.New(d)}
+	h := &Handle{ID: id, Doc: d, Index: index.New(d), succ: &succCell{}}
 	h.Stats = Stats{
 		ID:       id,
 		Nodes:    d.NumNodes(),
@@ -234,33 +331,74 @@ func (s *Store) GenerateXMark(id string, scale float64, seed int64) (*Handle, er
 	})
 }
 
-// Get returns the handle for id.
-func (s *Store) Get(id string) (*Handle, bool) {
+// chainFor returns the generation chain for id, or nil.
+func (s *Store) chainFor(id string) *chain {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h, ok := s.docs[id]
-	return h, ok
+	ch := s.docs[id]
+	s.mu.RUnlock()
+	return ch
 }
 
-// Evict removes id from the store, reporting whether it was present.
-// Handles already obtained stay usable; the memory is reclaimed once
-// they are dropped.
+// Get returns the latest-generation handle for id.
+func (s *Store) Get(id string) (*Handle, bool) {
+	ch := s.chainFor(id)
+	if ch == nil {
+		return nil, false
+	}
+	h := ch.latest.Load()
+	return h, h != nil
+}
+
+// Evict removes id from the store, retiring every generation of its
+// chain (pins and leases included — eviction is administrative and
+// overrides them: later resumes answer 410). Handles already obtained
+// stay usable; the memory is reclaimed once they are dropped. The
+// id's eviction epoch bumps, so an in-flight load that started before
+// the evict can no longer publish.
 func (s *Store) Evict(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.docs[id]
+	ch, ok := s.docs[id]
 	delete(s.docs, id)
-	return ok
+	s.epochs[id]++
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ch.mu.Lock()
+	ch.evicted = true
+	ch.latest.Store(nil)
+	gens := make([]uint64, 0, len(ch.gens))
+	for g := range ch.gens {
+		gens = append(gens, g)
+		delete(ch.gens, g)
+	}
+	ch.mu.Unlock()
+	s.notifyRetired(id, gens)
+	return true
 }
 
-// List returns a snapshot of per-document stats sorted by id.
+// List returns a snapshot of latest-generation stats sorted by id, each
+// annotated with its chain's live generation count.
 func (s *Store) List() []Stats {
 	s.mu.RLock()
-	out := make([]Stats, 0, len(s.docs))
-	for _, h := range s.docs {
-		out = append(out, h.Stats)
+	chains := make([]*chain, 0, len(s.docs))
+	for _, ch := range s.docs {
+		chains = append(chains, ch)
 	}
 	s.mu.RUnlock()
+	out := make([]Stats, 0, len(chains))
+	for _, ch := range chains {
+		h := ch.latest.Load()
+		if h == nil {
+			continue
+		}
+		st := h.Stats
+		st.Gen = h.Gen
+		ch.mu.Lock()
+		st.LiveGens = len(ch.gens)
+		ch.mu.Unlock()
+		out = append(out, st)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -1,0 +1,362 @@
+package tree
+
+import "fmt"
+
+// Subtree-level document mutation. A Document is immutable; Apply
+// produces the *next generation* — a new Document sharing nothing
+// mutable with its parent — by splicing one contiguous preorder
+// interval. Because a subtree is exactly the interval [v, LastDesc(v)],
+// every patch (insert, delete, replace) is a single array splice with
+// offset arithmetic on the link values, O(n) memcpy-speed work instead
+// of an O(n) re-parse plus index rebuild. The Delta describing the
+// splice is what lets internal/index and the BP view update
+// incrementally too.
+
+// PatchOp selects the mutation kind.
+type PatchOp uint8
+
+// Patch operations.
+const (
+	// OpInsert grafts Frag's document element as a new child of Node,
+	// before Before (or as the last child when Before is Nil).
+	OpInsert PatchOp = iota + 1
+	// OpDelete removes the subtree rooted at Node.
+	OpDelete
+	// OpReplace substitutes the subtree rooted at Node with Frag's
+	// document element.
+	OpReplace
+)
+
+// String names the operation for errors and logs.
+func (op PatchOp) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpReplace:
+		return "replace"
+	}
+	return fmt.Sprintf("PatchOp(%d)", uint8(op))
+}
+
+// ParsePatchOp maps the wire name of an operation to its PatchOp.
+func ParsePatchOp(s string) (PatchOp, bool) {
+	switch s {
+	case "insert":
+		return OpInsert, true
+	case "delete":
+		return OpDelete, true
+	case "replace":
+		return OpReplace, true
+	}
+	return 0, false
+}
+
+// Patch is one subtree mutation.
+type Patch struct {
+	// Op is the mutation kind.
+	Op PatchOp
+	// Node is the patch target: the subtree root to delete or replace,
+	// or the parent element receiving an insert.
+	Node NodeID
+	// Before (insert only) is the existing child of Node the new subtree
+	// is inserted before; Nil appends after the last child.
+	Before NodeID
+	// Frag (insert/replace) carries the grafted subtree: a Document
+	// whose #doc root has exactly one element child.
+	Frag *Document
+}
+
+// Delta describes the preorder splice a patch performed, in terms both
+// the old and new documents understand: old nodes < At keep their ids,
+// old nodes >= At+Removed shift by Inserted-Removed, and the interval
+// [At, At+Removed) of the old document is gone. Incremental maintainers
+// (the jumping index, the BP bit sequence) consume this instead of
+// rediffing the trees.
+type Delta struct {
+	// At is the preorder rank where the splice happens.
+	At NodeID
+	// Removed and Inserted are the spliced-out and spliced-in node
+	// counts (0 Removed for inserts, 0 Inserted for deletes).
+	Removed, Inserted int
+	// Parent is the parent of the spliced subtree (an old id < At,
+	// stable across the patch).
+	Parent NodeID
+	// Before is the old-id sibling an insert displaced; Nil for appends
+	// and for delete/replace.
+	Before NodeID
+	// Frag is the grafted fragment document (nil for deletes); grafted
+	// node f of Frag (f >= 1, skipping its #doc root) has new id
+	// At+f-1.
+	Frag *Document
+}
+
+// NewIDs reports the node-count of the patched document given the old
+// count.
+func (dl *Delta) NewIDs(oldN int) int { return oldN + dl.Inserted - dl.Removed }
+
+// clone copies the label table so the patched generation can intern
+// fragment labels without mutating the parent generation's table (which
+// concurrent readers of the old document still use).
+func (lt *LabelTable) clone() *LabelTable {
+	c := &LabelTable{
+		names: append([]string(nil), lt.names...),
+		ids:   make(map[string]LabelID, len(lt.ids)),
+	}
+	for k, v := range lt.ids {
+		c.ids[k] = v
+	}
+	return c
+}
+
+// fragRoot validates a patch fragment and returns its single element
+// child (always node 1: the first child of the #doc root in preorder).
+func fragRoot(frag *Document) (NodeID, error) {
+	if frag == nil || frag.NumNodes() < 2 {
+		return Nil, fmt.Errorf("tree: patch fragment is empty")
+	}
+	r := frag.firstChild[0]
+	if r == Nil || frag.nextSibling[r] != Nil {
+		return Nil, fmt.Errorf("tree: patch fragment must have exactly one root element")
+	}
+	if frag.labels[r] == LabelText {
+		return Nil, fmt.Errorf("tree: patch fragment root must be an element, not text")
+	}
+	return r, nil
+}
+
+// prevSibling returns the previous sibling of v, or Nil when v is a
+// first child. O(depth): the node at preorder v-1 is either v's parent
+// (v is a first child) or lies inside the previous sibling's subtree.
+func (d *Document) prevSibling(v NodeID) NodeID {
+	p := d.parent[v]
+	u := v - 1
+	if u == p {
+		return Nil
+	}
+	for d.parent[u] != p {
+		u = d.parent[u]
+	}
+	return u
+}
+
+// Apply performs one subtree patch, returning the next generation of
+// the document and the Delta describing the splice. The receiver is not
+// modified; concurrent readers of it are unaffected.
+func (d *Document) Apply(pt Patch) (*Document, *Delta, error) {
+	n := NodeID(d.NumNodes())
+	validTarget := func(v NodeID) bool { return v > 0 && v < n }
+
+	var (
+		q      NodeID // preorder splice position
+		parent NodeID // parent of the spliced subtree
+		before = Nil  // displaced sibling (insert only)
+		k, m   int    // removed / inserted node counts
+		frag   *Document
+	)
+	switch pt.Op {
+	case OpDelete, OpReplace:
+		if !validTarget(pt.Node) {
+			return nil, nil, fmt.Errorf("tree: %s target %d out of range (1..%d)", pt.Op, pt.Node, n-1)
+		}
+		if pt.Op == OpDelete && pt.Node == d.DocumentElement() {
+			return nil, nil, fmt.Errorf("tree: cannot delete the document element (replace it instead)")
+		}
+		q, parent = pt.Node, d.parent[pt.Node]
+		k = d.SubtreeSize(pt.Node)
+		if pt.Op == OpReplace {
+			r, err := fragRoot(pt.Frag)
+			if err != nil {
+				return nil, nil, err
+			}
+			frag = pt.Frag
+			m = int(frag.lastDesc[r]-r) + 1
+		}
+	case OpInsert:
+		parent = pt.Node
+		if parent < 0 || parent >= n {
+			return nil, nil, fmt.Errorf("tree: insert parent %d out of range (0..%d)", parent, n-1)
+		}
+		if parent == 0 {
+			return nil, nil, fmt.Errorf("tree: cannot insert a second document element under the root")
+		}
+		if d.labels[parent] == LabelText {
+			return nil, nil, fmt.Errorf("tree: cannot insert under a text node")
+		}
+		r, err := fragRoot(pt.Frag)
+		if err != nil {
+			return nil, nil, err
+		}
+		frag = pt.Frag
+		m = int(frag.lastDesc[r]-r) + 1
+		if pt.Before != Nil {
+			if !validTarget(pt.Before) || d.parent[pt.Before] != parent {
+				return nil, nil, fmt.Errorf("tree: insert position %d is not a child of %d", pt.Before, parent)
+			}
+			before, q = pt.Before, pt.Before
+		} else {
+			q = d.lastDesc[parent] + 1
+		}
+	default:
+		return nil, nil, fmt.Errorf("tree: unknown patch op %v", pt.Op)
+	}
+
+	dl := &Delta{At: q, Removed: k, Inserted: m, Parent: parent, Before: before, Frag: frag}
+	nd := d.splice(dl)
+	return nd, dl, nil
+}
+
+// splice materializes the patched document from a validated Delta.
+func (d *Document) splice(dl *Delta) *Document {
+	var (
+		n      = NodeID(d.NumNodes())
+		q      = dl.At
+		k      = dl.Removed
+		m      = dl.Inserted
+		parent = dl.Parent
+		delta  = NodeID(m - k)
+		cut    = q + NodeID(k) // first old preorder rank after the removed interval
+		nn     = int(n) + m - k
+	)
+	nd := &Document{
+		labels:      make([]LabelID, nn),
+		parent:      make([]NodeID, nn),
+		firstChild:  make([]NodeID, nn),
+		nextSibling: make([]NodeID, nn),
+		lastDesc:    make([]NodeID, nn),
+		depth:       make([]int32, nn),
+		texts:       make([]string, nn),
+		names:       d.names.clone(),
+	}
+	// remap shifts an old link value into the new id space. Values
+	// inside the removed interval are unreachable after the sibling
+	// re-links below, except the splice position itself, which maps to
+	// wherever the splice pushed it (relevant only for inserts, where
+	// the displaced `before` node survives at q+m).
+	remap := func(v NodeID) NodeID {
+		if v == Nil || v < q {
+			return v
+		}
+		if v >= cut {
+			return v + delta
+		}
+		return q + NodeID(m) // v == q, displaced by an insert
+	}
+
+	// Prefix [0, q): ids are stable; links into the shifted suffix move.
+	copy(nd.labels[:q], d.labels[:q])
+	copy(nd.depth[:q], d.depth[:q])
+	copy(nd.texts[:q], d.texts[:q])
+	lastDescP := d.lastDesc[parent]
+	for v := NodeID(0); v < q; v++ {
+		nd.parent[v] = d.parent[v] // always < v < q
+		nd.firstChild[v] = remap(d.firstChild[v])
+		nd.nextSibling[v] = remap(d.nextSibling[v])
+		L := d.lastDesc[v]
+		if k > 0 {
+			// A prefix node's subtree interval either ends before the
+			// removed range (L < q) or spans it entirely (v is an
+			// ancestor of the removed root, L >= removed end - 1 >= q).
+			if L >= q {
+				L += delta
+			}
+		} else if v <= parent && L >= lastDescP {
+			// Pure insert: only ancestors-or-self of the insert parent
+			// grow. The interval test alone would miss appends (where
+			// q == lastDesc(parent)+1 lies just outside every interval).
+			L += delta
+		}
+		nd.lastDesc[v] = L
+	}
+
+	// Grafted fragment occupies [q, q+m): fragment node f gets id
+	// q+f-1 (f skips the fragment's #doc root).
+	if m > 0 {
+		fr := dl.Frag
+		labelMap := make([]LabelID, len(fr.names.names))
+		for i, name := range fr.names.names {
+			labelMap[i] = nd.names.Intern(name)
+		}
+		fremap := func(f NodeID) NodeID {
+			if f == Nil {
+				return Nil
+			}
+			return q + f - 1
+		}
+		baseDepth := d.depth[parent]
+		for f := NodeID(1); int(f) <= m; f++ {
+			v := q + f - 1
+			nd.labels[v] = labelMap[fr.labels[f]]
+			nd.depth[v] = baseDepth + fr.depth[f]
+			if fp := fr.parent[f]; fp == 0 {
+				nd.parent[v] = parent
+			} else {
+				nd.parent[v] = fremap(fp)
+			}
+			nd.firstChild[v] = fremap(fr.firstChild[f])
+			nd.nextSibling[v] = fremap(fr.nextSibling[f])
+			nd.lastDesc[v] = fremap(fr.lastDesc[f])
+		}
+		copy(nd.texts[q:int(q)+m], fr.texts[1:m+1])
+	}
+
+	// Suffix [cut, n): ids and every link value >= cut shift by delta;
+	// links to stable prefix nodes keep their values.
+	for v := cut; v < n; v++ {
+		w := v + delta
+		nd.labels[w] = d.labels[v]
+		nd.depth[w] = d.depth[v]
+		nd.parent[w] = remap(d.parent[v])
+		nd.firstChild[w] = remap(d.firstChild[v])
+		nd.nextSibling[w] = remap(d.nextSibling[v])
+		nd.lastDesc[w] = d.lastDesc[v] + delta
+	}
+	copy(nd.texts[cut+delta:], d.texts[cut:])
+
+	// Re-link the sibling chain around the splice. anchor is the old
+	// node whose chain position the splice takes; target is what the
+	// link into that position now points at.
+	anchor := q // delete/replace: the removed root; insert-before: before
+	if dl.Before == Nil && k == 0 {
+		anchor = Nil // append: nothing displaced
+	}
+	var target NodeID
+	switch {
+	case m > 0:
+		target = q // the grafted root
+	default:
+		target = remap(d.nextSibling[q]) // delete: close the gap
+	}
+	if anchor != Nil {
+		if d.firstChild[parent] == anchor {
+			nd.firstChild[parent] = target
+		} else {
+			nd.nextSibling[d.prevSibling(anchor)] = target
+		}
+	} else if d.firstChild[parent] == Nil {
+		nd.firstChild[parent] = q
+	} else {
+		// Append: the old last child is the ancestor of node q-1
+		// (== lastDesc(parent)) that hangs directly under parent.
+		lc := q - 1
+		for d.parent[lc] != parent {
+			lc = d.parent[lc]
+		}
+		nd.nextSibling[lc] = q
+	}
+	// The grafted root's own next sibling: the displaced node for
+	// insert-before, the replaced node's old successor for replace, Nil
+	// for append.
+	if m > 0 {
+		switch {
+		case dl.Before != Nil:
+			nd.nextSibling[q] = q + NodeID(m)
+		case k > 0:
+			nd.nextSibling[q] = remap(d.nextSibling[q])
+		default:
+			nd.nextSibling[q] = Nil
+		}
+	}
+	return nd
+}

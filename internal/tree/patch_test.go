@@ -1,0 +1,312 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mnode is the mutable oracle tree: patches are applied by plain
+// pointer surgery, then the whole thing is rebuilt through Builder —
+// the parse-from-scratch ground truth the incremental splice must
+// match array for array.
+type mnode struct {
+	name     string
+	text     string // non-empty => #text node
+	children []*mnode
+}
+
+// toMutable converts the element/text subtree rooted at v.
+func toMutable(d *Document, v NodeID) *mnode {
+	if d.Label(v) == LabelText {
+		return &mnode{name: "#text", text: d.Text(v)}
+	}
+	n := &mnode{name: d.LabelName(v)}
+	for c := d.FirstChild(v); c != Nil; c = d.NextSibling(c) {
+		n.children = append(n.children, toMutable(d, c))
+	}
+	return n
+}
+
+// build rebuilds a Document from the oracle tree (children of the
+// synthetic root).
+func buildMutable(roots []*mnode) *Document {
+	b := NewBuilder()
+	var walk func(n *mnode)
+	walk = func(n *mnode) {
+		if n.text != "" || n.name == "#text" {
+			b.Text(n.text)
+			return
+		}
+		b.Open(n.name)
+		for _, c := range n.children {
+			walk(c)
+		}
+		b.Close()
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return b.MustFinish()
+}
+
+// locate finds the oracle node with preorder rank v (>0) and its parent
+// plus child position, by walking in preorder alongside a counter.
+func locate(roots []*mnode, v NodeID) (parent *mnode, idx int, node *mnode) {
+	rank := NodeID(0) // rank 0 is the synthetic root, not in the oracle
+	var walk func(p *mnode, i int, n *mnode) bool
+	walk = func(p *mnode, i int, n *mnode) bool {
+		rank++
+		if rank == v {
+			parent, idx, node = p, i, n
+			return true
+		}
+		for ci, c := range n.children {
+			if walk(n, ci, c) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, r := range roots {
+		if walk(nil, i, r) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("locate: rank %d not found", v))
+}
+
+// applyOracle performs the patch on the mutable tree. roots is the
+// child list of the synthetic root (len 1 in any valid document).
+func applyOracle(roots []*mnode, pt Patch, frag *mnode) []*mnode {
+	switch pt.Op {
+	case OpDelete, OpReplace:
+		parent, idx, _ := locate(roots, pt.Node)
+		var list []*mnode
+		if parent == nil {
+			list = roots
+		} else {
+			list = parent.children
+		}
+		if pt.Op == OpDelete {
+			list = append(list[:idx:idx], list[idx+1:]...)
+		} else {
+			list = append(append(list[:idx:idx], frag), list[idx+1:]...)
+		}
+		if parent == nil {
+			return list
+		}
+		parent.children = list
+		return roots
+	case OpInsert:
+		_, _, parent := locate(roots, pt.Node)
+		if pt.Before == Nil {
+			parent.children = append(parent.children, frag)
+			return roots
+		}
+		_, idx, _ := locate(roots, pt.Before)
+		parent.children = append(parent.children[:idx:idx],
+			append([]*mnode{frag}, parent.children[idx:]...)...)
+		return roots
+	}
+	panic("bad op")
+}
+
+var patchLabels = []string{"a", "b", "c", "item", "name"}
+
+// randomFragment builds a small random fragment document plus its
+// oracle form.
+func randomFragment(rng *rand.Rand) (*Document, *mnode) {
+	b := NewBuilder()
+	var gen func(depth int) *mnode
+	gen = func(depth int) *mnode {
+		name := patchLabels[rng.Intn(len(patchLabels))]
+		b.Open(name)
+		n := &mnode{name: name}
+		kids := rng.Intn(3)
+		if depth >= 3 {
+			kids = 0
+		}
+		for i := 0; i < kids; i++ {
+			if rng.Intn(4) == 0 {
+				txt := fmt.Sprintf("t%d", rng.Intn(100))
+				b.Text(txt)
+				n.children = append(n.children, &mnode{name: "#text", text: txt})
+			} else {
+				n.children = append(n.children, gen(depth+1))
+			}
+		}
+		b.Close()
+		return n
+	}
+	root := gen(0)
+	return b.MustFinish(), root
+}
+
+// randomPatch draws one applicable patch against d.
+func randomPatch(rng *rand.Rand, d *Document) (Patch, *mnode) {
+	n := NodeID(d.NumNodes())
+	frag, fragOracle := randomFragment(rng)
+	for tries := 0; ; tries++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			parent := NodeID(1 + rng.Intn(int(n-1)))
+			if d.Label(parent) == LabelText {
+				continue
+			}
+			before := Nil
+			// Half the time insert before a random existing child.
+			if rng.Intn(2) == 0 && d.FirstChild(parent) != Nil {
+				kids := []NodeID{}
+				for c := d.FirstChild(parent); c != Nil; c = d.NextSibling(c) {
+					kids = append(kids, c)
+				}
+				before = kids[rng.Intn(len(kids))]
+			}
+			return Patch{Op: OpInsert, Node: parent, Before: before, Frag: frag}, fragOracle
+		case 1: // delete
+			v := NodeID(1 + rng.Intn(int(n-1)))
+			if v == d.DocumentElement() {
+				continue
+			}
+			return Patch{Op: OpDelete, Node: v, Before: Nil}, nil
+		default: // replace
+			v := NodeID(1 + rng.Intn(int(n-1)))
+			return Patch{Op: OpReplace, Node: v, Before: Nil, Frag: frag}, fragOracle
+		}
+	}
+}
+
+// requireEqualDocs compares every array of the two documents.
+func requireEqualDocs(t *testing.T, step int, got, want *Document) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("step %d: nodes = %d, want %d", step, got.NumNodes(), want.NumNodes())
+	}
+	for v := NodeID(0); int(v) < want.NumNodes(); v++ {
+		if got.LabelName(v) != want.LabelName(v) {
+			t.Fatalf("step %d node %d: label %q, want %q", step, v, got.LabelName(v), want.LabelName(v))
+		}
+		if got.parent[v] != want.parent[v] || got.firstChild[v] != want.firstChild[v] ||
+			got.nextSibling[v] != want.nextSibling[v] || got.lastDesc[v] != want.lastDesc[v] ||
+			got.depth[v] != want.depth[v] {
+			t.Fatalf("step %d node %d: links (p=%d fc=%d ns=%d ld=%d d=%d), want (p=%d fc=%d ns=%d ld=%d d=%d)",
+				step, v,
+				got.parent[v], got.firstChild[v], got.nextSibling[v], got.lastDesc[v], got.depth[v],
+				want.parent[v], want.firstChild[v], want.nextSibling[v], want.lastDesc[v], want.depth[v])
+		}
+		if got.Text(v) != want.Text(v) {
+			t.Fatalf("step %d node %d: text %q, want %q", step, v, got.Text(v), want.Text(v))
+		}
+	}
+	if got.XMLString() != want.XMLString() {
+		t.Fatalf("step %d: serialized documents differ", step)
+	}
+}
+
+// requireEqualSuccinct compares the spliced BP view against a
+// from-scratch build: every excess value (hence every bit) plus the
+// derived navigation at each node.
+func requireEqualSuccinct(t *testing.T, step int, got, want *Succinct) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("step %d: BP nodes = %d, want %d", step, got.NumNodes(), want.NumNodes())
+	}
+	for i := 0; i < 2*want.NumNodes(); i++ {
+		if got.Excess(i) != want.Excess(i) {
+			t.Fatalf("step %d: BP excess(%d) = %d, want %d", step, i, got.Excess(i), want.Excess(i))
+		}
+	}
+	for v := NodeID(0); int(v) < want.NumNodes(); v++ {
+		if got.OpenPos(v) != want.OpenPos(v) {
+			t.Fatalf("step %d: BP select/open(%d) = %d, want %d", step, v, got.OpenPos(v), want.OpenPos(v))
+		}
+		if got.Parent(v) != want.Parent(v) || got.FirstChild(v) != want.FirstChild(v) ||
+			got.NextSibling(v) != want.NextSibling(v) || got.LastDesc(v) != want.LastDesc(v) ||
+			got.Depth(v) != want.Depth(v) {
+			t.Fatalf("step %d: BP navigation differs at node %d", step, v)
+		}
+	}
+}
+
+// TestPatchPropertyVsRebuild drives random patch sequences against the
+// parse-from-scratch oracle: the incrementally spliced document arrays
+// and the incrementally spliced BP view must match a full rebuild after
+// every step.
+func TestPatchPropertyVsRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			frag, oracle := randomFragment(rng)
+			doc := frag
+			roots := []*mnode{oracle}
+			succ := NewSuccinct(doc)
+			for step := 0; step < 60; step++ {
+				pt, fragOracle := randomPatch(rng, doc)
+				next, dl, err := doc.Apply(pt)
+				if err != nil {
+					t.Fatalf("step %d: %v (patch %+v)", step, err, pt)
+				}
+				if got := dl.NewIDs(doc.NumNodes()); got != next.NumNodes() {
+					t.Fatalf("step %d: delta NewIDs = %d, want %d", step, got, next.NumNodes())
+				}
+				roots = applyOracle(roots, pt, fragOracle)
+				want := buildMutable(roots)
+				requireEqualDocs(t, step, next, want)
+				succ = SpliceSuccinct(succ, next, dl)
+				requireEqualSuccinct(t, step, succ, NewSuccinct(want))
+				doc = next
+			}
+		})
+	}
+}
+
+// TestPatchValidation pins the refusal surface: malformed patches must
+// error without producing a document.
+func TestPatchValidation(t *testing.T) {
+	b := NewBuilder()
+	b.Open("r")
+	b.Open("a")
+	b.Text("x")
+	b.Close()
+	b.Close()
+	d := b.MustFinish() // 0=#doc 1=r 2=a 3=#text
+	frag := func() *Document {
+		fb := NewBuilder()
+		fb.Open("new")
+		fb.Close()
+		return fb.MustFinish()
+	}()
+	cases := []struct {
+		name string
+		pt   Patch
+	}{
+		{"delete-root", Patch{Op: OpDelete, Node: 0, Before: Nil}},
+		{"delete-document-element", Patch{Op: OpDelete, Node: 1, Before: Nil}},
+		{"delete-out-of-range", Patch{Op: OpDelete, Node: 99, Before: Nil}},
+		{"replace-root", Patch{Op: OpReplace, Node: 0, Before: Nil, Frag: frag}},
+		{"replace-nil-frag", Patch{Op: OpReplace, Node: 2, Before: Nil}},
+		{"insert-under-doc-root", Patch{Op: OpInsert, Node: 0, Before: Nil, Frag: frag}},
+		{"insert-under-text", Patch{Op: OpInsert, Node: 3, Before: Nil, Frag: frag}},
+		{"insert-before-non-child", Patch{Op: OpInsert, Node: 1, Before: 3, Frag: frag}},
+		{"insert-nil-frag", Patch{Op: OpInsert, Node: 2, Before: Nil}},
+		{"unknown-op", Patch{Op: 0, Node: 1, Before: Nil}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := d.Apply(tc.pt); err == nil {
+				t.Fatalf("patch %+v: expected error", tc.pt)
+			}
+		})
+	}
+	// Replacing the document element is legal (the document stays
+	// well-formed); the old label survives in the table but not the tree.
+	nd, _, err := d.Apply(Patch{Op: OpReplace, Node: 1, Before: Nil, Frag: frag})
+	if err != nil {
+		t.Fatalf("replace document element: %v", err)
+	}
+	if nd.XMLString() != "<new></new>" {
+		t.Fatalf("replace document element: got %q", nd.XMLString())
+	}
+}

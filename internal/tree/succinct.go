@@ -28,6 +28,52 @@ func NewSuccinct(d *Document) *Succinct {
 	return &Succinct{bt: b.Build(), doc: d}
 }
 
+// SpliceSuccinct derives the balanced-parentheses view of a patched
+// document from its parent generation's view: the removed subtree is
+// one matched parenthesis pair, so the patch is a single bit-range
+// splice (bp.Tree.Splice) — the grafted fragment's sequence drops in
+// where the removed pair came out. newDoc must be the document Delta
+// describes (the result of Document.Apply).
+func SpliceSuccinct(old *Succinct, newDoc *Document, dl *Delta) *Succinct {
+	bt := old.bt
+	var at, del int
+	switch {
+	case dl.Removed > 0:
+		at = bt.OpenPos(int(dl.At))
+		del = bt.FindClose(at) + 1 - at
+	case dl.Before != Nil:
+		// Insert-before: the fragment's bits go where Before's open
+		// parenthesis sits, pushing Before's pair right.
+		at = bt.OpenPos(int(dl.Before))
+	default:
+		// Append: just inside the parent's closing parenthesis.
+		at = bt.FindClose(bt.OpenPos(int(dl.Parent)))
+	}
+	var ins []bool
+	if dl.Inserted > 0 {
+		ins = make([]bool, 0, 2*dl.Inserted)
+		f := dl.Frag
+		var walk func(v NodeID)
+		walk = func(v NodeID) {
+			ins = append(ins, true)
+			for c := f.FirstChild(v); c != Nil; c = f.NextSibling(c) {
+				walk(c)
+			}
+			ins = append(ins, false)
+		}
+		walk(f.DocumentElement())
+	}
+	return &Succinct{bt: bt.Splice(at, del, ins), doc: newDoc}
+}
+
+// Excess exposes the underlying parenthesis excess (opens minus closes
+// in the prefix of length i+1); the mutation property tests compare it
+// against a from-scratch rebuild.
+func (s *Succinct) Excess(i int) int { return s.bt.Excess(i) }
+
+// OpenPos returns the bit position of v's open parenthesis.
+func (s *Succinct) OpenPos(v NodeID) int { return s.bt.OpenPos(int(v)) }
+
 // NumNodes reports the number of nodes.
 func (s *Succinct) NumNodes() int { return s.bt.NumNodes() }
 

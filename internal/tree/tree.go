@@ -103,7 +103,7 @@ type Document struct {
 	nextSibling []NodeID
 	lastDesc    []NodeID // last preorder node of the subtree
 	depth       []int32
-	texts       map[NodeID]string
+	texts       []string // per preorder rank; "" for non-text nodes
 	names       *LabelTable
 }
 
@@ -120,7 +120,6 @@ func NewBuilder() *Builder {
 	b := &Builder{
 		doc: &Document{
 			names: NewLabelTable(),
-			texts: make(map[NodeID]string),
 		},
 	}
 	b.open(LabelDoc)
@@ -139,6 +138,7 @@ func (b *Builder) open(l LabelID) NodeID {
 	d.nextSibling = append(d.nextSibling, Nil)
 	d.lastDesc = append(d.lastDesc, v)
 	d.depth = append(d.depth, int32(len(b.stack)))
+	d.texts = append(d.texts, "")
 	if len(b.stack) > 0 {
 		p := b.stack[len(b.stack)-1]
 		d.parent[v] = p
@@ -245,8 +245,14 @@ func (d *Document) LastDesc(v NodeID) NodeID { return d.lastDesc[v] }
 // Depth returns the depth of v; the synthetic root has depth 0.
 func (d *Document) Depth(v NodeID) int { return int(d.depth[v]) }
 
-// Text returns the text content of a #text node (empty for others).
-func (d *Document) Text(v NodeID) string { return d.texts[v] }
+// Text returns the text content of a #text node (empty for others,
+// including Nil and out-of-range ids).
+func (d *Document) Text(v NodeID) string {
+	if v < 0 || int(v) >= len(d.texts) {
+		return ""
+	}
+	return d.texts[v]
+}
 
 // IsAncestorOrSelf reports whether a is v or an ancestor of v.
 func (d *Document) IsAncestorOrSelf(a, v NodeID) bool {
