@@ -1,0 +1,30 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); keep them in sync.
+
+GO ?= go
+
+.PHONY: build test race lint fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repo's custom analyzer suite (see DESIGN.md "Enforced
+# invariants"): ctxrelease, arenaescape, lockhold, metricnames,
+# nakedgen. Exit 1 on any finding. Suppress a single accepted finding
+# with `// xpqlint:ignore <analyzer> <reason>` on the flagged line.
+lint:
+	$(GO) run ./cmd/xpqlint ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build lint test

@@ -1,0 +1,89 @@
+// Command xpqlint runs the repository's custom analyzer suite (see
+// internal/lint and DESIGN.md "Enforced invariants") over the whole
+// module:
+//
+//	go run ./cmd/xpqlint ./...
+//
+// It is a standalone multichecker rather than a `go vet -vettool`
+// plugin: the vettool protocol needs golang.org/x/tools/go/analysis/
+// unitchecker, which the offline build image cannot vendor, so the
+// driver loads and typechecks the module itself (stdlib go/types with
+// the source importer) and accepts the conventional "./..." argument
+// for familiarity. Exit status: 0 clean, 1 findings, 2 load failure.
+//
+// Findings can be suppressed case-by-case with a justified directive
+// on the flagged line or the line above:
+//
+//	// xpqlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/registry"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xpqlint [-list] [./...]\n\nAnalyzers:\n")
+		for _, a := range registry.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range registry.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpqlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpqlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, registry.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpqlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "xpqlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod — the driver always lints the whole module, so "./..." is
+// accepted (and implied) rather than parsed.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,269 @@
+// Package arenaescape guards the lifetime discipline of the pooled
+// evaluation-context arenas. Slices carved from a sliceArena (and
+// entries handed out by tiStore/openTable) are valid only until the
+// owning context's next Reset: the arena recycles the backing array in
+// place. Any carved value that outlives the evaluation therefore reads
+// recycled memory. The analyzer tracks locals initialized from
+// carve/carveFull/copyOf/new calls (and locals re-sliced from them)
+// and reports the three ways such a value can outlive its Reset:
+//
+//   - returned from an exported function or method (callers are
+//     outside the arena's package and cannot see the Reset)
+//   - stored into a package-level variable
+//   - captured by a closure, or stored into a field of a type declared
+//     outside the arena's package (both may be retained indefinitely)
+//
+// Unexported helpers returning carved memory to their in-package
+// callers are the arena plumbing itself and stay legal.
+package arenaescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "arenaescape",
+	Doc:  "arena-carved values must not escape their Reset lifetime",
+	Run:  run,
+}
+
+// arena method sets that hand out Reset-scoped storage.
+var arenaTypes = map[string]bool{"sliceArena": true, "tiStore": true, "openTable": true}
+var carveFns = map[string]bool{"carve": true, "carveFull": true, "copyOf": true, "new": true}
+
+func run(pass *lint.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exported := fd.Name.IsExported()
+			w := &escWalker{pass: pass, exported: exported, fn: fd.Name.Name, tracked: map[types.Object]bool{}}
+			w.scan(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+type escWalker struct {
+	pass     *lint.Pass
+	exported bool
+	fn       string
+	tracked  map[types.Object]bool
+}
+
+// isCarve reports whether call hands out arena storage.
+func (w *escWalker) isCarve(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !carveFns[sel.Sel.Name] {
+		return false
+	}
+	t := w.pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && arenaTypes[named.Obj().Name()]
+}
+
+func (w *escWalker) scan(body *ast.BlockStmt) {
+	// Pass 1: find carved locals, propagating through plain re-slices
+	// and aliases (x := carved[2:5]) until a fixpoint.
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := w.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = w.pass.TypesInfo.Uses[id]
+					}
+					if obj == nil || w.tracked[obj] {
+						continue
+					}
+					if w.carvedExpr(rhs) {
+						w.tracked[obj] = true
+						grew = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i >= len(n.Names) {
+						break
+					}
+					obj := w.pass.TypesInfo.Defs[n.Names[i]]
+					if obj == nil || w.tracked[obj] {
+						continue
+					}
+					if w.carvedExpr(v) {
+						w.tracked[obj] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	if len(w.tracked) == 0 {
+		return
+	}
+
+	// Pass 2: report escapes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if !w.exported {
+				return true
+			}
+			for _, r := range n.Results {
+				if obj := w.trackedIn(r); obj != nil {
+					w.pass.Reportf(n.Return, "arena-carved value %q escapes via return from exported %s: the backing array is recycled at the next Reset", obj.Name(), w.fn)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				obj := w.trackedIn(rhs)
+				if obj == nil {
+					continue
+				}
+				w.checkStore(n.Lhs[i], obj)
+			}
+		case *ast.FuncLit:
+			for obj := range w.tracked {
+				if usesObject(w.pass, n.Body, obj) {
+					w.pass.Reportf(n.Pos(), "arena-carved value %q captured by a closure that may outlive the arena Reset", obj.Name())
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// carvedExpr reports whether e yields arena storage: a carve call, or
+// a slice/index of an already-tracked value.
+func (w *escWalker) carvedExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return w.isCarve(e)
+	case *ast.SliceExpr:
+		return w.trackedIn(e.X) != nil
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[e]
+		return obj != nil && w.tracked[obj]
+	}
+	return false
+}
+
+// trackedIn returns a tracked object referenced by e (not laundered
+// through a call — copies made by callees are theirs to own).
+func (w *escWalker) trackedIn(e ast.Expr) types.Object {
+	var found types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.CallExpr, *ast.FuncLit:
+			// Calls launder (callees copy what they keep); closures
+			// are handled by the capture rule.
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil && w.tracked[obj] {
+				found = obj
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkStore flags stores of carved values into homes that outlive the
+// Reset: package-level variables and fields of foreign types.
+func (w *escWalker) checkStore(lhs ast.Expr, obj types.Object) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		tgt := w.pass.TypesInfo.Uses[lhs]
+		if tgt == nil {
+			tgt = w.pass.TypesInfo.Defs[lhs]
+		}
+		if tgt != nil && tgt.Parent() == w.pass.Pkg.Scope() {
+			w.pass.Reportf(lhs.Pos(), "arena-carved value %q stored into package-level %s: outlives the arena Reset", obj.Name(), lhs.Name)
+		}
+	case *ast.SelectorExpr:
+		// Field store: fine into the arena package's own structures
+		// (that is the memo-table design — they reset together),
+		// fatal into a type declared elsewhere.
+		t := w.pass.TypeOf(lhs.X)
+		if t == nil {
+			return
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			tpkg := named.Obj().Pkg()
+			if tpkg != nil && tpkg != w.pass.Pkg {
+				w.pass.Reportf(lhs.Pos(), "arena-carved value %q stored into field of %s.%s: the struct outlives the arena Reset", obj.Name(), tpkg.Name(), named.Obj().Name())
+			}
+		}
+		// Rooted at a package-level variable?
+		if root := rootIdent(lhs.X); root != nil {
+			if tgt := w.pass.TypesInfo.Uses[root]; tgt != nil && tgt.Parent() == w.pass.Pkg.Scope() {
+				w.pass.Reportf(lhs.Pos(), "arena-carved value %q stored into package-level %s: outlives the arena Reset", obj.Name(), root.Name)
+			}
+		}
+	case *ast.IndexExpr:
+		w.checkStore(lhs.X, obj)
+	}
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func usesObject(pass *lint.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

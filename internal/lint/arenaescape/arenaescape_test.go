@@ -1,0 +1,11 @@
+package arenaescape
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, ".", Analyzer, "asta")
+}

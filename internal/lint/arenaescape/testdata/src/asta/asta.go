@@ -1,0 +1,64 @@
+// Fixture for arenaescape: carved storage escaping (or not) its Reset
+// lifetime. Mirrors internal/asta's arena shapes.
+package asta
+
+type sliceArena struct{ buf []int }
+
+func (a *sliceArena) carve(n int) []int     { return a.buf[:n] }
+func (a *sliceArena) carveFull(n int) []int { return a.buf[:n] }
+func (a *sliceArena) copyOf(src []int) []int {
+	dst := a.carve(len(src))
+	copy(dst, src)
+	return dst // unexported plumbing: legal
+}
+
+type foreignHolder struct{ rows []int } // stands in for a type from another package
+
+var cache []int
+
+// Escape 1: exported return.
+func CarveForCaller(a *sliceArena, n int) []int {
+	row := a.carve(n)
+	return row // want "escapes via return from exported CarveForCaller"
+}
+
+// Escape 2: package-level store.
+func Stash(a *sliceArena, n int) {
+	row := a.carve(n)
+	cache = row // want "stored into package-level cache"
+}
+
+// Escape 3: closure capture.
+func Defer(a *sliceArena, n int) func() int {
+	row := a.carveFull(n)
+	return func() int { return row[0] } // want "captured by a closure"
+}
+
+// Escape 4: propagation through a re-slice, then exported return.
+func CarveWindow(a *sliceArena, n int) []int {
+	row := a.carve(n)
+	win := row[2:4]
+	return win // want "escapes via return from exported CarveWindow"
+}
+
+// Legal: carved rows stored into the package's own structures (the
+// memo tables reset together with the arena).
+type table struct{ rows [][]int }
+
+func (t *table) fill(a *sliceArena, n int) {
+	row := a.carve(n)
+	t.rows = append(t.rows, row)
+}
+
+// Legal: unexported helpers hand carved memory to in-package callers.
+func scratch(a *sliceArena, n int) []int {
+	return a.carve(n)
+}
+
+// Legal: copying out of the arena launders the value.
+func Materialize(a *sliceArena, n int) []int {
+	row := a.carve(n)
+	out := make([]int, len(row))
+	copy(out, row)
+	return out
+}

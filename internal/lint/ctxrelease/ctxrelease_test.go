@@ -1,0 +1,11 @@
+package ctxrelease
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, ".", Analyzer, "handlers", "core", "obsv")
+}

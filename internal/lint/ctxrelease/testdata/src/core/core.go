@@ -1,0 +1,42 @@
+// Stub of repro/internal/core for ctxrelease fixtures: the pool
+// checkout/release pair is package-private, so its cases live here.
+package core
+
+type Cursor struct{}
+
+func (c *Cursor) Close()     {}
+func (c *Cursor) Next() bool { return false }
+
+type pooledCtx struct{}
+
+type pool struct{}
+
+func (p *pool) checkout(k string) (*pooledCtx, bool) { return nil, false }
+func (p *pool) release(k string, pc *pooledCtx)      {}
+
+type Engine struct{ pool pool }
+
+func (e *Engine) EvalCursor(q string) (*Cursor, error)      { return nil, nil }
+func (e *Engine) EvalCursorTrace(q string) (*Cursor, error) { return nil, nil }
+
+func (e *Engine) leakyCheckout(leak bool) {
+	pc, warm := e.pool.checkout("k")
+	_ = warm
+	if leak {
+		return // want "pooled context .pc. .from core.checkout at .* is not released on this return"
+	}
+	e.pool.release("k", pc)
+}
+
+func (e *Engine) cleanCheckout() {
+	pc, _ := e.pool.checkout("k")
+	defer e.pool.release("k", pc)
+}
+
+// closureRelease is the cursor-construction pattern: the checkout is
+// captured by a release closure that outlives the call, transferring
+// ownership to whoever holds the closure.
+func (e *Engine) closureRelease() func() {
+	pc, _ := e.pool.checkout("k")
+	return func() { e.pool.release("k", pc) }
+}

@@ -1,0 +1,98 @@
+// Fixture for ctxrelease: handler-side cursor and trace lifecycles.
+package handlers
+
+import (
+	"errors"
+
+	"core"
+	"obsv"
+)
+
+func bad() bool { return false }
+
+// The bug class that motivated the analyzer: an early error return
+// between checkout and Close.
+func LeakOnEarlyReturn(e *core.Engine) error {
+	cur, err := e.EvalCursor("q")
+	if err != nil {
+		return err // exempt: cur is nil on the error path
+	}
+	if bad() {
+		return errors.New("mid-handler failure") // want "cursor .cur. .from core.EvalCursor at .* is not released on this return"
+	}
+	cur.Close()
+	return nil
+}
+
+func LeakAtEnd() {
+	tr := obsv.NewTrace(true)
+	tr.Span("query")
+} // want "trace .tr. .from obsv.NewTrace at .* is not released on function end"
+
+func Discarded(e *core.Engine) {
+	e.EvalCursorTrace("q") // want "cursor from core.EvalCursorTrace is discarded"
+}
+
+func BlankAssigned(e *core.Engine) {
+	_, err := e.EvalCursor("q") // want "cursor from core.EvalCursor is discarded"
+	_ = err
+}
+
+// Negative cases: every lifecycle below is sound.
+
+func CleanDefer(e *core.Engine) error {
+	cur, err := e.EvalCursor("q")
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	if bad() {
+		return errors.New("covered by defer")
+	}
+	return nil
+}
+
+func CleanTrace() {
+	tr := obsv.NewTrace(true)
+	tr.Span("query")
+	obsv.ReleaseTrace(tr)
+}
+
+type evalState struct {
+	cur *core.Cursor
+	tr  *obsv.Trace
+}
+
+// Ownership transfer into a returned struct — the prepare() pattern:
+// the caller's defer is responsible from here on.
+func Transfer(e *core.Engine) (*evalState, error) {
+	tr := obsv.NewTrace(true)
+	cur, err := e.EvalCursor("q")
+	if err != nil {
+		obsv.ReleaseTrace(tr)
+		return nil, err
+	}
+	return &evalState{cur: cur, tr: tr}, nil
+}
+
+func ClosureOwns(e *core.Engine) func() {
+	cur, err := e.EvalCursor("q")
+	if err != nil {
+		return func() {}
+	}
+	return func() { cur.Close() }
+}
+
+// Assigning the checkout straight into a field transfers ownership to
+// the struct's owner (the prepare() explain path).
+func FieldAssign(st *evalState) {
+	st.tr = obsv.NewTrace(true)
+}
+
+func NilCheck(e *core.Engine) {
+	cur, _ := e.EvalCursor("q")
+	if cur == nil {
+		return
+	}
+	cur.Close()
+}

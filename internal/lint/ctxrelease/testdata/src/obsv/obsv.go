@@ -1,0 +1,9 @@
+// Stub of repro/internal/obsv for ctxrelease fixtures.
+package obsv
+
+type Trace struct{}
+
+func NewTrace(detail bool) *Trace { return &Trace{} }
+func ReleaseTrace(t *Trace)       {}
+
+func (t *Trace) Span(name string) {}

@@ -1,0 +1,18 @@
+// Negative fixture: a package outside the tracked set may hold its
+// own mutexes across whatever it likes — lockhold must stay silent.
+package free
+
+import (
+	"sync"
+	"time"
+)
+
+type Worker struct {
+	mu sync.Mutex
+}
+
+func (w *Worker) SleepUnder() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

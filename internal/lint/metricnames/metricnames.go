@@ -1,0 +1,313 @@
+// Package metricnames pins the Prometheus exposition contract. The
+// daemon writes its /metrics page by hand (no client library), so
+// three drifts are one typo away: a family name that breaks the
+// xpqd_* naming scheme, a family the golden exposition test no longer
+// covers, and a /stats key silently missing its Prometheus twin. The
+// analyzer activates on any package that registers families via
+// PromWriter-style Family/Sample/Histogram calls and checks:
+//
+//   - names match ^(xpqd|go)_[a-z0-9_]+$ (go_* is reserved for the
+//     runtime gauges) and carry non-empty help text
+//   - counters end in _total; gauges and histograms do not
+//   - every family is registered once, every Sample/Histogram/eachShard
+//     emission names a registered family, and no family is dead
+//   - the sibling golden test's promFamilies map and the registered set
+//     agree exactly, including the family type
+//   - every exported numeric field of the package's *Stats structs is
+//     read by the exposition (fields with "Mean" in the name or a
+//     "Rate" suffix are exempt: means and ratios are derivable in
+//     PromQL from the exact sums and counts, so they are JSON-only by
+//     design)
+package metricnames
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "metricnames",
+	Doc:  "Prometheus families keep the xpqd_* contract, match the golden test, and mirror every /stats key",
+	Run:  run,
+}
+
+var nameRx = regexp.MustCompile(`^(xpqd|go)_[a-z0-9_]+$`)
+
+type family struct {
+	typ  string // "counter" | "gauge" | "histogram"
+	pos  token.Pos
+	used bool
+}
+
+func run(pass *lint.Pass) (any, error) {
+	families := map[string]*family{}
+	type emission struct {
+		name string
+		pos  token.Pos
+	}
+	var emissions []emission
+	var metricFiles []*ast.File // files containing Family registrations
+
+	for _, f := range pass.Files {
+		registers := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeName(call) {
+			case "Family":
+				if len(call.Args) < 3 {
+					return true
+				}
+				name, ok := strLit(call.Args[0])
+				if !ok {
+					pass.Reportf(call.Pos(), "family name must be a string literal so the contract is checkable")
+					return true
+				}
+				registers = true
+				if prev, dup := families[name]; dup {
+					_ = prev
+					pass.Reportf(call.Pos(), "family %s registered twice", name)
+					return true
+				}
+				fam := &family{typ: famType(call.Args[2]), pos: call.Pos()}
+				families[name] = fam
+				if !nameRx.MatchString(name) {
+					pass.Reportf(call.Pos(), "family %s breaks the naming contract %s", name, nameRx)
+				}
+				if help, ok := strLit(call.Args[1]); !ok || strings.TrimSpace(help) == "" {
+					pass.Reportf(call.Pos(), "family %s has no help text", name)
+				}
+				switch fam.typ {
+				case "counter":
+					if !strings.HasSuffix(name, "_total") {
+						pass.Reportf(call.Pos(), "counter %s must end in _total", name)
+					}
+				case "gauge", "histogram":
+					if strings.HasSuffix(name, "_total") {
+						pass.Reportf(call.Pos(), "%s %s must not end in _total (reserved for counters)", fam.typ, name)
+					}
+				}
+			case "Sample", "Histogram":
+				if len(call.Args) >= 1 {
+					if name, ok := strLit(call.Args[0]); ok {
+						emissions = append(emissions, emission{name, call.Pos()})
+					}
+				}
+			case "eachShard":
+				if len(call.Args) >= 3 {
+					if name, ok := strLit(call.Args[2]); ok {
+						emissions = append(emissions, emission{name, call.Pos()})
+					}
+				}
+			}
+			return true
+		})
+		if registers {
+			metricFiles = append(metricFiles, f)
+		}
+	}
+	if len(families) == 0 {
+		return nil, nil // package registers no metrics: not in scope
+	}
+
+	for _, e := range emissions {
+		if _, ok := families[e.name]; !ok {
+			pass.Reportf(e.pos, "sample emitted for unregistered family %s", e.name)
+		} else {
+			families[e.name].used = true
+		}
+	}
+	for name, fam := range families {
+		if !fam.used {
+			pass.Reportf(fam.pos, "family %s is registered but never emitted (dead family)", name)
+		}
+	}
+
+	checkGolden(pass, families)
+	checkStatsTwins(pass, metricFiles)
+	return nil, nil
+}
+
+// checkGolden diffs the registered families against the promFamilies
+// map in the package's *_test.go files (the golden exposition test).
+// Both directions must agree: a family missing from the golden list is
+// untested; a golden key with no registration is a stale contract.
+func checkGolden(pass *lint.Pass, families map[string]*family) {
+	paths, _ := filepath.Glob(filepath.Join(pass.Dir, "*_test.go"))
+	var golden map[string]string
+	goldenPos := map[string]token.Pos{}
+	for _, path := range paths {
+		f, err := parser.ParseFile(pass.Fset, path, nil, 0)
+		if err != nil {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, id := range spec.Names {
+				if id.Name != "promFamilies" || i >= len(spec.Values) {
+					continue
+				}
+				lit, ok := spec.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				golden = map[string]string{}
+				for _, el := range lit.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					k, kok := strLit(kv.Key)
+					v, vok := strLit(kv.Value)
+					if kok && vok {
+						golden[k] = v
+						goldenPos[k] = kv.Key.Pos()
+					}
+				}
+			}
+			return true
+		})
+		if golden != nil {
+			break
+		}
+	}
+	if golden == nil {
+		return // no golden test beside this package: nothing to diff
+	}
+	for name, fam := range families {
+		want, ok := golden[name]
+		if !ok {
+			pass.Reportf(fam.pos, "family %s is not covered by the golden exposition test (promFamilies)", name)
+			continue
+		}
+		if fam.typ != "" && want != fam.typ {
+			pass.Reportf(fam.pos, "family %s registered as %s but golden-tested as %s", name, fam.typ, want)
+		}
+	}
+	for name := range golden {
+		if _, ok := families[name]; !ok {
+			pass.Reportf(goldenPos[name], "golden test lists %s but no such family is registered", name)
+		}
+	}
+}
+
+// checkStatsTwins verifies the exposition reads every exported numeric
+// field of the package's *Stats structs — the "/stats key without a
+// Prometheus twin" drift. Mean/Rate fields are exempt (derivable).
+func checkStatsTwins(pass *lint.Pass, metricFiles []*ast.File) {
+	// The package's own *Stats struct types.
+	statsStructs := map[*types.Struct]string{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasSuffix(name, "Stats") {
+			continue
+		}
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+			statsStructs[st] = name
+		}
+	}
+	if len(statsStructs) == 0 {
+		return
+	}
+
+	// Fields the exposition actually reads.
+	read := map[string]bool{} // "ShardStats.DocBytes"
+	for _, f := range metricFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(sel.X)
+			if t == nil {
+				return true
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if st, ok := t.Underlying().(*types.Struct); ok {
+				if sname, tracked := statsStructs[st]; tracked {
+					read[sname+"."+sel.Sel.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for st, sname := range statsStructs {
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if !fld.Exported() || !isNumeric(fld.Type()) {
+				continue
+			}
+			if strings.Contains(fld.Name(), "Mean") || strings.HasSuffix(fld.Name(), "Rate") {
+				continue
+			}
+			if !read[sname+"."+fld.Name()] {
+				pass.Reportf(fld.Pos(), "/stats key %s.%s has no Prometheus twin: not read by the metrics exposition", sname, fld.Name())
+			}
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+func strLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+// famType maps the third Family argument (obsv.TypeCounter et al, or a
+// fixture-local equivalent) to the golden test's type strings.
+func famType(e ast.Expr) string {
+	name := ""
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.Ident:
+		name = e.Name
+	}
+	switch name {
+	case "TypeCounter":
+		return "counter"
+	case "TypeGauge":
+		return "gauge"
+	case "TypeHistogram":
+		return "histogram"
+	}
+	return ""
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

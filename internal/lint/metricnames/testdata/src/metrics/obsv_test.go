@@ -1,0 +1,13 @@
+package metrics
+
+// The golden exposition list, as the real obsv_http_test.go keeps it.
+var promFamilies = map[string]string{
+	"xpqd_good_total":     "counter",
+	"xpqd_Bad_name":       "counter",
+	"xpqd_notatotal":      "counter",
+	"xpqd_gauge_total":    "gauge",
+	"xpqd_nohelp_total":   "counter",
+	"xpqd_dead_total":     "counter",
+	"xpqd_mistyped_total": "gauge",
+	"xpqd_stale_total":    "counter", // want "golden test lists xpqd_stale_total but no such family is registered"
+}

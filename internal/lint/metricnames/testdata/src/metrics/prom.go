@@ -1,0 +1,53 @@
+// Fixture for metricnames: a hand-written exposition with one of each
+// drift the analyzer catches, plus clean cases proving it stays quiet.
+package metrics
+
+type promWriter struct{}
+
+const (
+	TypeCounter = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (p *promWriter) Family(name, help string, typ int)               {}
+func (p *promWriter) Sample(name string, v float64, labels ...string) {}
+
+// PoolStats exercises the /stats twin check: Hits is read by the
+// exposition, Drops is not; HitRate and MeanNS are exempt by
+// convention (derivable in PromQL).
+type PoolStats struct {
+	Hits    uint64
+	Drops   uint64 // want "stats key PoolStats.Drops has no Prometheus twin"
+	HitRate float64
+	MeanNS  int64
+}
+
+func Write(p *promWriter, ps PoolStats) {
+	p.Family("xpqd_good_total", "A well-formed counter.", TypeCounter)
+	p.Sample("xpqd_good_total", float64(ps.Hits))
+
+	p.Family("xpqd_Bad_name", "Mixed case.", TypeCounter) // want "breaks the naming contract" "counter xpqd_Bad_name must end in _total"
+	p.Sample("xpqd_Bad_name", 1)
+
+	p.Family("xpqd_notatotal", "Counter without suffix.", TypeCounter) // want "counter xpqd_notatotal must end in _total"
+	p.Sample("xpqd_notatotal", 1)
+
+	p.Family("xpqd_gauge_total", "Gauge wearing a counter suffix.", TypeGauge) // want "gauge xpqd_gauge_total must not end in _total"
+	p.Sample("xpqd_gauge_total", 1)
+
+	p.Family("xpqd_nohelp_total", "", TypeCounter) // want "family xpqd_nohelp_total has no help text"
+	p.Sample("xpqd_nohelp_total", 1)
+
+	p.Family("xpqd_good_total", "Registered twice.", TypeCounter) // want "family xpqd_good_total registered twice"
+
+	p.Family("xpqd_dead_total", "Never emitted.", TypeCounter) // want "family xpqd_dead_total is registered but never emitted"
+
+	p.Sample("xpqd_ghost_total", 1) // want "sample emitted for unregistered family xpqd_ghost_total"
+
+	p.Family("xpqd_ungolden_total", "Missing from the golden test.", TypeCounter) // want "family xpqd_ungolden_total is not covered by the golden exposition test"
+	p.Sample("xpqd_ungolden_total", 1)
+
+	p.Family("xpqd_mistyped_total", "Golden thinks gauge.", TypeCounter) // want "family xpqd_mistyped_total registered as counter but golden-tested as gauge"
+	p.Sample("xpqd_mistyped_total", 1)
+}

@@ -1,0 +1,10 @@
+// Negative fixture: a package with Stats structs but no Prometheus
+// registrations is out of scope — the twin check must stay silent.
+package nometrics
+
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+func Sum(s CacheStats) uint64 { return s.Hits + s.Misses }

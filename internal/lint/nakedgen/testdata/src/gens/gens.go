@@ -1,0 +1,30 @@
+// Fixture for nakedgen: a consumer package misusing store.Gen.
+package gens
+
+import "store"
+
+func Newer(a, b store.Gen) bool {
+	return a > b // want "ordering comparison on store.Gen"
+}
+
+func Bump(g store.Gen) store.Gen {
+	return g + 1 // want "arithmetic on store.Gen"
+}
+
+func Forge(raw uint64) store.Gen {
+	return store.Gen(raw) // want "integer-to-store.Gen conversion"
+}
+
+func Leak(g store.Gen) uint64 {
+	return uint64(g) // want "store.Gen-to-integer conversion"
+}
+
+// Negative cases: identity comparison, zero checks, the sanctioned
+// string round-trip, and map keys are all fine.
+func Same(a, b store.Gen) bool { return a == b }
+
+func Absent(g store.Gen) bool { return g == store.NoGen }
+
+func Wire(g store.Gen) string { return g.String() }
+
+func Index(m map[store.Gen]int, g store.Gen) int { return m[g] }

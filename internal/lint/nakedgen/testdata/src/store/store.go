@@ -1,0 +1,13 @@
+// Stub of repro/internal/store for nakedgen fixtures. Arithmetic in
+// here is legal: the analyzer exempts the defining package.
+package store
+
+type Gen uint64
+
+const NoGen Gen = 0
+
+func (g Gen) String() string { return "" }
+
+func Next(g Gen) Gen { return g + 1 } // exempt: home package
+
+func AsRaw(g Gen) uint64 { return uint64(g) } // exempt: home package

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/store"
 	"repro/internal/tree"
 )
 
@@ -29,15 +30,15 @@ const cursorVersion = "c2"
 
 // encodeCursor builds the continuation token for a page of doc (owned
 // by shard) ending at last.
-func encodeCursor(shard int, doc string, gen uint64, last tree.NodeID) string {
+func encodeCursor(shard int, doc string, gen store.Gen, last tree.NodeID) string {
 	raw := cursorVersion + "\x00" + strconv.Itoa(shard) + "\x00" + doc + "\x00" +
-		strconv.FormatUint(gen, 10) + "\x00" +
+		gen.String() + "\x00" +
 		strconv.FormatInt(int64(last), 10)
 	return base64.RawURLEncoding.EncodeToString([]byte(raw))
 }
 
 // decodeCursor parses a continuation token.
-func decodeCursor(tok string) (shard int, doc string, gen uint64, last tree.NodeID, err error) {
+func decodeCursor(tok string) (shard int, doc string, gen store.Gen, last tree.NodeID, err error) {
 	raw, derr := base64.RawURLEncoding.DecodeString(tok)
 	if derr != nil {
 		return 0, "", 0, 0, fmt.Errorf("bad cursor: %v", derr)
@@ -50,7 +51,7 @@ func decodeCursor(tok string) (shard int, doc string, gen uint64, last tree.Node
 	if serr != nil || shard < 0 {
 		return 0, "", 0, 0, fmt.Errorf("bad cursor: malformed shard")
 	}
-	gen, gerr := strconv.ParseUint(parts[3], 10, 64)
+	gen, gerr := store.ParseGen(parts[3])
 	if gerr != nil {
 		return 0, "", 0, 0, fmt.Errorf("bad cursor: malformed generation")
 	}

@@ -42,7 +42,7 @@ func TestCursorTokenMatrix(t *testing.T) {
 		t.Fatalf("decoding our own token: %v", err)
 	}
 	shardS := strconv.Itoa(cshard)
-	genS := strconv.FormatUint(cgen, 10)
+	genS := cgen.String()
 	lastS := strconv.FormatInt(int64(clast), 10)
 
 	// The genuine token must resume cleanly.
@@ -64,7 +64,7 @@ func TestCursorTokenMatrix(t *testing.T) {
 		{"node-not-numeric", rawToken("c2", shardS, cdoc, genS, "abc"), 400},
 		{"negative-shard", rawToken("c2", "-1", cdoc, genS, lastS), 400},
 		{"relocated-shard", rawToken("c2", strconv.Itoa(cshard+1), cdoc, genS, lastS), 410},
-		{"stale-generation", rawToken("c2", shardS, cdoc, strconv.FormatUint(cgen+1, 10), lastS), 410},
+		{"stale-generation", rawToken("c2", shardS, cdoc, (cgen + 1).String(), lastS), 410},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -110,7 +110,7 @@ func TestCursorTokenMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	beyond := rawToken("c2", strconv.Itoa(sh), dc, strconv.FormatUint(gn, 10), "2147483647")
+	beyond := rawToken("c2", strconv.Itoa(sh), dc, gn.String(), "2147483647")
 	maxed := svc.Eval(Request{Doc: "xm", Query: "/site//item", Limit: 3, Cursor: beyond})
 	if maxed.Err != "" || len(maxed.Nodes) != 0 {
 		t.Fatalf("in-range beyond-answer token: err=%q nodes=%d, want empty page", maxed.Err, len(maxed.Nodes))

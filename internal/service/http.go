@@ -125,8 +125,8 @@ func asOf(w http.ResponseWriter, r *http.Request, req *Request) bool {
 	if raw == "" {
 		return true
 	}
-	gen, err := strconv.ParseUint(raw, 10, 64)
-	if err != nil || gen == 0 {
+	gen, err := store.ParseGen(raw)
+	if err != nil || gen == store.NoGen {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad asof: want a generation number"})
 		return false
 	}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestGuardTripsZeroOnErrorPaths is the runtime twin of the xpqlint
+// ctxrelease analyzer: it drives every forced error path between
+// cursor checkout and Close — parse errors, unknown documents and
+// strategies, malformed/stale/relocated cursors, asof mismatches,
+// rejected patches, header- and chunk-abort streams — and asserts the
+// context pool's generation guard never trips. A trip would mean some
+// error return leaked a checked-out evaluation context and the pool
+// had to reset it on the next checkout: exactly the leak class the
+// analyzer proves absent at compile time.
+func TestGuardTripsZeroOnErrorPaths(t *testing.T) {
+	s := newTestService(t, Options{})
+
+	// Warm the pools so later checkouts actually reuse contexts (a
+	// leak is only observable as a guard trip on a warm pool).
+	for i := 0; i < 3; i++ {
+		if resp := s.Eval(Request{Doc: "d1", Query: "//a/b"}); resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+	}
+
+	// Error before checkout: parse failure, unknown strategy, unknown
+	// document.
+	if resp := s.Eval(Request{Doc: "d1", Query: "///"}); resp.Err == "" {
+		t.Fatal("parse error expected")
+	}
+	if resp := s.Eval(Request{Doc: "d1", Query: "//a", Strategy: "bogus"}); resp.Err == "" {
+		t.Fatal("strategy error expected")
+	}
+	if resp := s.Eval(Request{Doc: "ghost", Query: "//a"}); resp.Err == "" {
+		t.Fatal("missing-document error expected")
+	}
+
+	// Cursor-token error paths: malformed token, wrong document,
+	// generation/asof mismatch, stale generation.
+	page := s.Eval(Request{Doc: "d1", Query: "//a/b", Limit: 1})
+	if page.Err != "" || page.Next == "" {
+		t.Fatalf("paged eval: %+v", page)
+	}
+	if resp := s.Eval(Request{Doc: "d1", Query: "//a/b", Cursor: "not-a-token"}); resp.Err == "" {
+		t.Fatal("malformed cursor accepted")
+	}
+	if _, err := s.Store().LoadXML("d2", []byte("<r><a><b/></a></r>")); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.Eval(Request{Doc: "d2", Query: "//a/b", Cursor: page.Next}); resp.Err == "" {
+		t.Fatal("cross-document cursor accepted")
+	}
+	if resp := s.Eval(Request{Doc: "d1", Query: "//a/b", Cursor: page.Next, AsOf: page.Gen + 1}); resp.Err == "" {
+		t.Fatal("asof/cursor generation mismatch accepted")
+	}
+	// Patch twice so the paged cursor's pinned generation retires once
+	// its lease lapses; a rejected patch exercises that error path too.
+	if _, err := s.PatchDoc("d1", PatchDocRequest{Op: "replace", Node: tree.NodeID(1), XML: "<a><b>y</b></a>", BaseGen: page.Gen + 1}); err == nil {
+		t.Fatal("patch against a wrong base generation accepted")
+	}
+	if _, err := s.PatchDoc("d1", PatchDocRequest{Op: "replace", Node: tree.NodeID(1), XML: "<a><b>y</b></a>"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream abort paths: header write fails, then a chunk write fails.
+	s.Stream(&failAfter{n: 0}, Request{Doc: "d1", Query: "//a/b"}, 1)
+	s.Stream(&failAfter{n: 1}, Request{Doc: "d1", Query: "//a/b"}, 1)
+	if pre := s.Stream(io.Discard, Request{Doc: "d1", Query: "//a/b"}, 2); pre != nil {
+		t.Fatalf("clean stream refused: %+v", pre)
+	}
+
+	// More warm traffic: if any error path above leaked its context,
+	// the guard fires on these checkouts.
+	for i := 0; i < 3; i++ {
+		if resp := s.Eval(Request{Doc: "d1", Query: "//a/b"}); resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Pool.GuardTrips != 0 {
+		t.Fatalf("GuardTrips = %d after forced error paths; a checkout leaked (ctxrelease invariant broken at runtime)", st.Pool.GuardTrips)
+	}
+	if st.Queries.Errors == 0 {
+		t.Fatal("test exercised no error paths")
+	}
+}

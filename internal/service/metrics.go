@@ -207,8 +207,10 @@ type StreamStats struct {
 	// aborted = client gone mid-stream), with the aborted side broken
 	// down by which write failed. Latency aggregates cover completed
 	// streams only, so broken pipes don't pollute them.
-	Streams            uint64 `json:"streams"`
-	Completed          uint64 `json:"completed"`
+	// xpqlint:ignore metricnames derivable: streams = completed + aborted (both exported)
+	Streams   uint64 `json:"streams"`
+	Completed uint64 `json:"completed"`
+	// xpqlint:ignore metricnames derivable: sum of xpqd_streams_aborted_total over the cause label
 	Aborted            uint64 `json:"aborted"`
 	AbortedHeaderWrite uint64 `json:"aborted_header_write,omitempty"`
 	AbortedChunkWrite  uint64 `json:"aborted_chunk_write,omitempty"`

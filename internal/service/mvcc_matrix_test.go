@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // The cursor-pinning matrix: a continuation token pins an MVCC
@@ -87,7 +88,7 @@ func runStream(t *testing.T, svc *Service, req Request) (StreamHeader, []StreamC
 
 // streamToken returns a mid-answer stream token and the stream's
 // pinned generation.
-func streamToken(t *testing.T, svc *Service) (string, uint64) {
+func streamToken(t *testing.T, svc *Service) (string, store.Gen) {
 	t.Helper()
 	header, _, trailer, pre := runStream(t, svc, Request{Doc: "d1", Query: "//b", Limit: 2})
 	if pre != nil {

@@ -167,6 +167,8 @@ func (f *failAfter) Write(p []byte) (int, error) {
 // retyping a family breaks dashboards, so it must break this test
 // first.
 var promFamilies = map[string]string{
+	"xpqd_qcache_budget_used_bytes":         "gauge",
+	"xpqd_qcache_budget_max_bytes":          "gauge",
 	"xpqd_queries_total":                    "counter",
 	"xpqd_query_errors_total":               "counter",
 	"xpqd_visited_nodes_total":              "counter",
@@ -228,7 +230,10 @@ var promSampleRE = regexp.MustCompile(
 	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]?Inf|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
 
 func TestPrometheusExposition(t *testing.T) {
-	s := newTestService(t, Options{})
+	// The byte budget is set so the conditional xpqd_qcache_budget_*
+	// families appear — the golden list covers them, and xpqlint's
+	// metricnames analyzer insists every registered family is tested.
+	s := newTestService(t, Options{CacheBytesTotal: 1 << 20})
 	// Traffic covering the series: several strategies, an error, a
 	// completed stream, a header-abort and a chunk-abort stream.
 	for _, strat := range []string{"", "optimized", "stepwise", "hybrid"} {

@@ -20,7 +20,6 @@ import (
 	"runtime"
 	runtimemetrics "runtime/metrics"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -200,7 +199,7 @@ func New(ss *shard.Store, opts Options) *Service {
 		// When a generation's last reader drains, drop its engine and its
 		// slice of the compiled-query cache — the serving-layer half of
 		// the store's generation GC.
-		sh.part.OnRetire(func(id string, gen uint64) {
+		sh.part.OnRetire(func(id string, gen store.Gen) {
 			key := engineKey(id, gen)
 			sh.lock()
 			delete(sh.engines, key)
@@ -247,8 +246,8 @@ func (sh *svcShard) lock() {
 
 // engineKey names one (document, generation) engine — also the prefix
 // (plus a trailing NUL) of its compiled-query cache namespace.
-func engineKey(docID string, gen uint64) string {
-	return docID + "\x00" + strconv.FormatUint(gen, 10)
+func engineKey(docID string, gen store.Gen) string {
+	return docID + "\x00" + gen.String()
 }
 
 // engine returns the shard's engine for one resident (document,
@@ -306,7 +305,7 @@ type PatchDocRequest struct {
 	// BaseGen, when non-zero, makes the patch conditional: it applies
 	// only while BaseGen is still the latest generation (optimistic
 	// concurrency; HTTP 409 on conflict).
-	BaseGen uint64 `json:"base_gen,omitempty"`
+	BaseGen store.Gen `json:"base_gen,omitempty"`
 }
 
 // PatchDoc applies one subtree mutation, publishing a new MVCC
@@ -363,7 +362,7 @@ type Request struct {
 	// from an earlier response) instead of the latest — time travel
 	// across patches, for as long as that generation stays live. Zero
 	// means latest. The HTTP layer also sets it from ?asof=.
-	AsOf uint64 `json:"asof,omitempty"`
+	AsOf store.Gen `json:"asof,omitempty"`
 	// Explain asks for an EXPLAIN-ANALYZE-style profile of this query:
 	// the Response (or stream trailer) carries a span tree with
 	// per-phase timings and engine counters. The HTTP layer also sets
@@ -382,7 +381,7 @@ type Response struct {
 	Strategy string `json:"strategy,omitempty"`
 	// Gen is the MVCC generation the answer was computed against; pass
 	// it back as AsOf to keep reading this exact tree across patches.
-	Gen uint64 `json:"gen,omitempty"`
+	Gen store.Gen `json:"gen,omitempty"`
 	// Count is the full answer cardinality, even when Nodes is truncated.
 	Count int           `json:"count"`
 	Nodes []tree.NodeID `json:"nodes"`
@@ -411,7 +410,7 @@ type evalState struct {
 	sh   *svcShard
 	cur  *core.Cursor
 	eng  *core.Engine
-	gen  uint64
+	gen  store.Gen
 	// fromCursor marks a resumed request: on successful consumption the
 	// incoming token's lease on gen is redeemed (after any new token's
 	// lease is issued).
@@ -806,8 +805,9 @@ type Stats struct {
 	// query total — the observed (process-wide, so conservative)
 	// steady-state allocs/op. Warm context pooling should hold this
 	// near the floor set by response assembly rather than evaluation.
-	HeapAllocObjects uint64  `json:"heap_alloc_objects"`
-	AllocsPerQuery   float64 `json:"allocs_per_query_estimate"`
+	HeapAllocObjects uint64 `json:"heap_alloc_objects"`
+	// xpqlint:ignore metricnames derivable: xpqd_heap_alloc_objects_total / xpqd_queries_total in PromQL
+	AllocsPerQuery float64 `json:"allocs_per_query_estimate"`
 }
 
 // Stats snapshots the store, caches and query counters, globally and

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/store"
 	"repro/internal/tree"
 )
 
@@ -29,7 +30,7 @@ type StreamHeader struct {
 	Strategy string `json:"strategy"`
 	// Gen is the MVCC generation the stream reads; pass it back as AsOf
 	// to keep reading this exact tree across patches.
-	Gen uint64 `json:"gen,omitempty"`
+	Gen store.Gen `json:"gen,omitempty"`
 	// Count is the full answer cardinality (an O(1) metadata read on
 	// rope-backed answers).
 	Count   int `json:"count"`

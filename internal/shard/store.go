@@ -87,22 +87,22 @@ func (s *Store) Evict(id string) bool {
 
 // Patch applies a subtree patch on the owning shard, publishing a new
 // generation of id (see store.Store.Patch).
-func (s *Store) Patch(id string, base uint64, pt tree.Patch) (*store.Handle, error) {
+func (s *Store) Patch(id string, base store.Gen, pt tree.Patch) (*store.Handle, error) {
 	return s.part(id).Patch(id, base, pt)
 }
 
 // GetAsOf returns a specific generation of id from its owning shard.
-func (s *Store) GetAsOf(id string, gen uint64) (*store.Handle, error) {
+func (s *Store) GetAsOf(id string, gen store.Gen) (*store.Handle, error) {
 	return s.part(id).GetAsOf(id, gen)
 }
 
 // Lease keeps (id, gen) readable until the deadline on the owning shard.
-func (s *Store) Lease(id string, gen uint64, until time.Time) error {
+func (s *Store) Lease(id string, gen store.Gen, until time.Time) error {
 	return s.part(id).Lease(id, gen, until)
 }
 
 // Redeem releases one outstanding lease on (id, gen).
-func (s *Store) Redeem(id string, gen uint64) {
+func (s *Store) Redeem(id string, gen store.Gen) {
 	s.part(id).Redeem(id, gen)
 }
 

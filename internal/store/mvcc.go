@@ -28,8 +28,8 @@ var ErrConflict = errors.New("base generation is not latest")
 type chain struct {
 	mu      sync.Mutex
 	latest  atomic.Pointer[Handle]
-	gens    map[uint64]*genEntry
-	nextGen uint64
+	gens    map[Gen]*genEntry
+	nextGen Gen
 	evicted bool
 }
 
@@ -54,14 +54,14 @@ const genSeedMask = 1<<52 - 1
 // different incarnation of the same document id — across evict+reload
 // and across daemon restarts.
 func newChain(h *Handle) *chain {
-	seed := (uint64(time.Now().UnixNano()) * 0x9E3779B97F4A7C15) & genSeedMask
+	seed := Gen(uint64(time.Now().UnixNano())*0x9E3779B97F4A7C15) & genSeedMask
 	if seed == 0 {
 		seed = 1
 	}
 	h.Gen = seed
 	h.Stats.Gen = seed
 	ch := &chain{
-		gens:    map[uint64]*genEntry{seed: {h: h}},
+		gens:    map[Gen]*genEntry{seed: {h: h}},
 		nextGen: seed + 1,
 	}
 	ch.latest.Store(h)
@@ -75,7 +75,7 @@ func newChain(h *Handle) *chain {
 // patch only applies when base is still the latest generation
 // (optimistic concurrency); base zero means "latest, whatever it is".
 // Existing readers are untouched: they keep the generation they pinned.
-func (s *Store) Patch(id string, base uint64, pt tree.Patch) (*Handle, error) {
+func (s *Store) Patch(id string, base Gen, pt tree.Patch) (*Handle, error) {
 	ch := s.chainFor(id)
 	if ch == nil {
 		return nil, fmt.Errorf("store: document %q: %w", id, ErrNotFound)
@@ -86,7 +86,7 @@ func (s *Store) Patch(id string, base uint64, pt tree.Patch) (*Handle, error) {
 		ch.mu.Unlock()
 		return nil, fmt.Errorf("store: document %q: %w", id, ErrNotFound)
 	}
-	if base != 0 && cur.Gen != base {
+	if base != NoGen && cur.Gen != base {
 		ch.mu.Unlock()
 		return nil, fmt.Errorf("store: document %q: patch base gen %d, latest is %d: %w",
 			id, base, cur.Gen, ErrConflict)
@@ -134,7 +134,7 @@ func (s *Store) Patch(id string, base uint64, pt tree.Patch) (*Handle, error) {
 // document is ErrNotFound; a resident document whose requested
 // generation has been retired is ErrGone (the time-travel window
 // closed).
-func (s *Store) GetAsOf(id string, gen uint64) (*Handle, error) {
+func (s *Store) GetAsOf(id string, gen Gen) (*Handle, error) {
 	ch := s.chainFor(id)
 	if ch == nil {
 		return nil, fmt.Errorf("store: document %q: %w", id, ErrNotFound)
@@ -151,7 +151,7 @@ func (s *Store) GetAsOf(id string, gen uint64) (*Handle, error) {
 // Pin takes a reference on (id, gen), keeping the generation readable
 // across later patches until Unpin. Used by streaming reads for the
 // duration of the response.
-func (s *Store) Pin(id string, gen uint64) error {
+func (s *Store) Pin(id string, gen Gen) error {
 	ch := s.chainFor(id)
 	if ch == nil {
 		return fmt.Errorf("store: document %q: %w", id, ErrNotFound)
@@ -168,7 +168,7 @@ func (s *Store) Pin(id string, gen uint64) error {
 
 // Unpin drops a Pin reference. When the last pin and lease of a
 // non-latest generation drain, the generation is retired.
-func (s *Store) Unpin(id string, gen uint64) {
+func (s *Store) Unpin(id string, gen Gen) {
 	ch := s.chainFor(id)
 	if ch == nil {
 		return
@@ -185,7 +185,7 @@ func (s *Store) Unpin(id string, gen uint64) {
 // Lease keeps (id, gen) readable until the deadline — the lifetime of
 // an issued cursor token. Redeem releases it early when the token is
 // consumed; an abandoned token simply expires.
-func (s *Store) Lease(id string, gen uint64, until time.Time) error {
+func (s *Store) Lease(id string, gen Gen, until time.Time) error {
 	ch := s.chainFor(id)
 	if ch == nil {
 		return fmt.Errorf("store: document %q: %w", id, ErrNotFound)
@@ -202,7 +202,7 @@ func (s *Store) Lease(id string, gen uint64, until time.Time) error {
 
 // Redeem releases one outstanding lease on (id, gen) — the
 // soonest-expiring one, since leases are fungible — and sweeps.
-func (s *Store) Redeem(id string, gen uint64) {
+func (s *Store) Redeem(id string, gen Gen) {
 	ch := s.chainFor(id)
 	if ch == nil {
 		return
@@ -226,9 +226,9 @@ func (s *Store) Redeem(id string, gen uint64) {
 // sweepLocked retires every generation that is not the latest and has
 // no pins and no unexpired leases. Caller holds ch.mu; the retired
 // generation ids are returned so the callback can run outside locks.
-func (ch *chain) sweepLocked(nowNS int64) []uint64 {
+func (ch *chain) sweepLocked(nowNS int64) []Gen {
 	latest := ch.latest.Load()
-	var retired []uint64
+	var retired []Gen
 	for gen, e := range ch.gens {
 		// Compact expired leases first so they can't keep a gen alive.
 		kept := e.leases[:0]
@@ -251,7 +251,7 @@ func (ch *chain) sweepLocked(nowNS int64) []uint64 {
 
 // notifyRetired fires the retire callback for each generation, outside
 // all store and chain locks.
-func (s *Store) notifyRetired(id string, gens []uint64) {
+func (s *Store) notifyRetired(id string, gens []Gen) {
 	if len(gens) == 0 {
 		return
 	}

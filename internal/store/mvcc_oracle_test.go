@@ -291,8 +291,8 @@ func TestMVCCOracleDifferential(t *testing.T) {
 // evict retires everything (pins included).
 func TestMVCCGenerationChain(t *testing.T) {
 	s := store.New()
-	var retired []uint64
-	s.OnRetire(func(id string, gen uint64) { retired = append(retired, gen) })
+	var retired []store.Gen
+	s.OnRetire(func(id string, gen store.Gen) { retired = append(retired, gen) })
 
 	rng := rand.New(rand.NewSource(7))
 	base := randDoc(rng)
@@ -399,11 +399,11 @@ func TestMVCCGenerationChain(t *testing.T) {
 	}
 
 	// Every generation ever created retired exactly once.
-	seen := map[uint64]int{}
+	seen := map[store.Gen]int{}
 	for _, g := range retired {
 		seen[g]++
 	}
-	for _, g := range []uint64{h1.Gen, h2.Gen, h3.Gen, h4.Gen, h5.Gen} {
+	for _, g := range []store.Gen{h1.Gen, h2.Gen, h3.Gen, h4.Gen, h5.Gen} {
 		if seen[g] != 1 {
 			t.Errorf("generation %d retired %d times, want 1 (all: %v)", g, seen[g], retired)
 		}

@@ -62,7 +62,7 @@ type Stats struct {
 	// per-document, strictly increasing, and entropy-seeded per load so
 	// a generation-pinned token can never alias a different incarnation
 	// of the same id (including across daemon restarts).
-	Gen uint64 `json:"gen"`
+	Gen Gen `json:"gen"`
 	// Nodes counts all tree nodes including the synthetic root.
 	Nodes int `json:"nodes"`
 	// Labels is the alphabet size |Σ| (distinct element names plus the
@@ -92,7 +92,7 @@ type succCell struct {
 type Handle struct {
 	ID string
 	// Gen is this generation's id within the document's chain.
-	Gen   uint64
+	Gen   Gen
 	Doc   *tree.Document
 	Index *index.Index
 	Stats Stats
@@ -130,7 +130,7 @@ type Store struct {
 	// retireFn is invoked (outside all store locks) for every retired
 	// (id, generation); the serving layer uses it to drop the matching
 	// engine and compiled-query cache entries.
-	retireFn func(id string, gen uint64)
+	retireFn func(id string, gen Gen)
 	patches  atomic.Uint64
 	retired  atomic.Uint64
 }
@@ -165,7 +165,7 @@ func New() *Store {
 // generation drain, or for all generations on evict. The callback runs
 // outside store locks. Register before serving traffic; later retires
 // use the latest registration.
-func (s *Store) OnRetire(fn func(id string, gen uint64)) {
+func (s *Store) OnRetire(fn func(id string, gen Gen)) {
 	s.mu.Lock()
 	s.retireFn = fn
 	s.mu.Unlock()
@@ -367,7 +367,7 @@ func (s *Store) Evict(id string) bool {
 	ch.mu.Lock()
 	ch.evicted = true
 	ch.latest.Store(nil)
-	gens := make([]uint64, 0, len(ch.gens))
+	gens := make([]Gen, 0, len(ch.gens))
 	for g := range ch.gens {
 		gens = append(gens, g)
 		delete(ch.gens, g)

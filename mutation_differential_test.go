@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/tree"
 	"repro/internal/xmark"
 	"repro/internal/xmlparse"
@@ -60,7 +61,7 @@ func fragmentErr(strategy, errText string) bool {
 // preorder ranks but cannot change which *elements* exist, so it
 // cross-checks answer cardinalities with zero shared state.
 type mutGenSnap struct {
-	gen      uint64
+	gen      store.Gen
 	fresh    *core.Engine
 	reparsed *core.Engine
 }
@@ -123,7 +124,7 @@ func randomPatch(t *testing.T, svc *service.Service, rng *rand.Rand, nodes int) 
 }
 
 // pagedNodes drains a query at AsOf gen through 100-node cursor hops.
-func pagedNodes(t *testing.T, svc *service.Service, query, strategy string, gen uint64) ([]tree.NodeID, string) {
+func pagedNodes(t *testing.T, svc *service.Service, query, strategy string, gen store.Gen) ([]tree.NodeID, string) {
 	t.Helper()
 	req := service.Request{Doc: "xm", Query: query, Strategy: strategy, AsOf: gen, Limit: 100}
 	var out []tree.NodeID
@@ -145,7 +146,7 @@ func pagedNodes(t *testing.T, svc *service.Service, query, strategy string, gen 
 }
 
 // streamedNodes drains a query at AsOf gen through the NDJSON stream.
-func streamedNodes(t *testing.T, svc *service.Service, query, strategy string, gen uint64) ([]tree.NodeID, string) {
+func streamedNodes(t *testing.T, svc *service.Service, query, strategy string, gen store.Gen) ([]tree.NodeID, string) {
 	t.Helper()
 	var buf bytes.Buffer
 	pre := svc.Stream(&buf, service.Request{Doc: "xm", Query: query, Strategy: strategy, AsOf: gen}, 256)
