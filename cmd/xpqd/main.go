@@ -5,8 +5,9 @@
 //	xpqd [-addr localhost:8714] [-shards N] [-cache-size 256] [-cache-bytes N]
 //	     [-cache-bytes-total N] [-workers N] [-stream-chunk 512] [-allow-file-loads]
 //	     [-log-level info] [-slow-query-ms N] [-flight-records 256] [-pprof]
-//	     [-cursor-ttl 60s]
-//	     [-load id=file.xml ...] [-load-bin id=file.xqo ...] [-xmark id=scale[:seed] ...]
+//	     [-cursor-ttl 60s] [-resident-budget N] [-verify-resident]
+//	     [-load id=file.xml ...] [-load-bin id=file.xqo ...]
+//	     [-mmap id=file.xqo2 | -mmap corpusdir ...] [-xmark id=scale[:seed] ...]
 //
 // The document corpus is partitioned over -shards goroutine-affine
 // shards by consistent hashing on the document id; each shard owns its
@@ -59,6 +60,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -113,12 +115,16 @@ func main() {
 		autoAdapt   = flag.Bool("auto-adaptive", true, "route Auto queries on observed per-shape latency (false = the paper's static count heuristic)")
 		autoEps     = flag.Float64("auto-epsilon", core.DefaultAutoEpsilon, "Auto selector exploration floor (fraction of warm decisions spent re-measuring)")
 		cursorTTL   = flag.Duration("cursor-ttl", service.DefaultCursorTTL, "how long an unconsumed page/stream cursor keeps its MVCC generation alive")
+		residentMax = flag.Int64("resident-budget", 0, "total bytes of mmap'd documents kept hot; colder mappings are released to the OS (0 = unlimited)")
+		verifyRes   = flag.Bool("verify-resident", false, "structurally validate every value in -mmap files at open (for files not written by this server; checksums are always verified)")
 		loads       multiFlag
 		loadBins    multiFlag
+		mmaps       multiFlag
 		xmarks      multiFlag
 	)
 	flag.Var(&loads, "load", "preload an XML document, id=path (repeatable)")
 	flag.Var(&loadBins, "load-bin", "preload a binary-serialized document, id=path (repeatable)")
+	flag.Var(&mmaps, "mmap", "open an XQO2 resident file zero-copy, id=path, or a directory of .xqo2 files (repeatable)")
 	flag.Var(&xmarks, "xmark", "pregenerate an XMark document, id=scale[:seed] (repeatable)")
 	flag.Parse()
 
@@ -131,7 +137,9 @@ func main() {
 	slog.SetDefault(logger)
 
 	st := shard.NewStore(*shards)
-	if err := preload(st, logger, loads, loadBins, xmarks); err != nil {
+	st.SetResidentBudget(*residentMax)
+	st.SetVerifyResident(*verifyRes)
+	if err := preload(st, logger, loads, loadBins, mmaps, xmarks); err != nil {
 		logger.Error("preload failed", slog.Any("err", err))
 		os.Exit(1)
 	}
@@ -186,9 +194,12 @@ func main() {
 	}
 }
 
-// preload loads every -load/-load-bin/-xmark document before serving,
-// so first queries never pay parse or index latency.
-func preload(st *shard.Store, logger *slog.Logger, loads, loadBins, xmarks []string) error {
+// preload loads every -load/-load-bin/-mmap/-xmark document before
+// serving, so first queries never pay parse or index latency. Mapped
+// opens are near-free (section-table walk plus checksums) — preloading
+// a whole corpus directory is how the daemon serves more documents than
+// fit in RAM, with the OS paging each document's working set on demand.
+func preload(st *shard.Store, logger *slog.Logger, loads, loadBins, mmaps, xmarks []string) error {
 	for _, spec := range loads {
 		id, path, err := splitSpec(spec, "-load")
 		if err != nil {
@@ -206,6 +217,36 @@ func preload(st *shard.Store, logger *slog.Logger, loads, loadBins, xmarks []str
 			return err
 		}
 		h, err := st.LoadBinaryFile(id, path)
+		if err != nil {
+			return err
+		}
+		logLoaded(logger, h)
+	}
+	for _, spec := range mmaps {
+		// Directory form: open every *.xqo2 inside, id = base name.
+		if fi, err := os.Stat(spec); err == nil && fi.IsDir() {
+			entries, err := os.ReadDir(spec)
+			if err != nil {
+				return fmt.Errorf("-mmap %q: %w", spec, err)
+			}
+			for _, e := range entries {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, ".xqo2") {
+					continue
+				}
+				h, err := st.LoadMapped(strings.TrimSuffix(name, ".xqo2"), filepath.Join(spec, name))
+				if err != nil {
+					return err
+				}
+				logLoaded(logger, h)
+			}
+			continue
+		}
+		id, path, err := splitSpec(spec, "-mmap")
+		if err != nil {
+			return err
+		}
+		h, err := st.LoadMapped(id, path)
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,31 @@ const (
 	wordsPer  = superBits / wordBits
 )
 
+// Broadword constants (Vigna, "Broadword implementation of rank/select
+// queries"): l8 replicates a byte across the word, h8 marks the high bit
+// of every byte.
+const (
+	l8 = 0x0101010101010101
+	h8 = 0x8080808080808080
+)
+
+// selByte[b][j] is the position (0-7) of the (j+1)-th set bit of byte b;
+// entries past the byte's popcount are unused. 2KB, built once — the
+// in-byte half of the branchless word select.
+var selByte [256][8]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		j := 0
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				selByte[b][j] = uint8(i)
+				j++
+			}
+		}
+	}
+}
+
 // Builder accumulates bits and produces an immutable Vector.
 type Builder struct {
 	words []uint64
@@ -145,6 +170,14 @@ func (v *Vector) Get(i int) bool {
 	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
 }
 
+// Byte reads the 8 bits starting at bit position i, which must be a
+// multiple of 8 (so the read never crosses a word). Bits past the
+// vector's end read as zero. The balanced-parentheses excess kernels
+// step through blocks with this.
+func (v *Vector) Byte(i int) byte {
+	return byte(v.words[i>>6] >> (uint(i) & 63))
+}
+
 // word64 reads up to 64 bits starting at bit position i; bits past the
 // vector's end are zero.
 func (v *Vector) word64(i int) uint64 {
@@ -216,29 +249,106 @@ func (v *Vector) Select1(k int) int {
 	return w*wordBits + selectInWord(v.words[w], rem)
 }
 
-// Select0 returns the position of the k-th 0-bit (1-based), or -1.
+// Select0 returns the position of the k-th 0-bit (1-based), or -1. Like
+// Select1 it binary-searches the superblock directory (zeros before
+// superblock i are i*superBits - super[i]) and finishes with one
+// word-level select — not a positional binary search over Rank0 calls.
 func (v *Vector) Select0(k int) int {
 	if k <= 0 || k > v.n-v.ones {
 		return -1
 	}
-	lo, hi := 0, v.n-1
+	// zerosBefore(i), capped at the vector's end for the final
+	// (possibly partial) superblock.
+	zerosBefore := func(i int) int {
+		bitsBefore := i * superBits
+		if bitsBefore > v.n {
+			bitsBefore = v.n
+		}
+		return bitsBefore - int(v.super[i])
+	}
+	lo, hi := 0, len(v.super)-1
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if v.Rank0(mid+1) < k {
-			lo = mid + 1
+		mid := (lo + hi + 1) / 2
+		if zerosBefore(mid) < k {
+			lo = mid
 		} else {
-			hi = mid
+			hi = mid - 1
 		}
 	}
-	return lo
+	rem := k - zerosBefore(lo)
+	w := lo * wordsPer
+	for ; w < len(v.words); w++ {
+		// Zeros in this word, not counting storage bits past the
+		// vector's end (they read as 0 but are not part of the vector).
+		valid := v.n - w*wordBits
+		if valid > wordBits {
+			valid = wordBits
+		}
+		c := valid - bits.OnesCount64(v.words[w])
+		if c >= rem {
+			break
+		}
+		rem -= c
+	}
+	return w*wordBits + selectInWord(^v.words[w], rem)
 }
 
-// selectInWord returns the position (0-63) of the k-th set bit (1-based) in w.
+// selectInWord returns the position (0-63) of the k-th set bit (1-based)
+// in w. Branchless: a byte-parallel popcount prefix locates the byte,
+// a 256-entry table resolves the bit within it — no clear-lowest-bit
+// loop.
 func selectInWord(w uint64, k int) int {
-	for i := 1; i < k; i++ {
-		w &= w - 1 // clear lowest set bit
+	// s: byte i holds the popcount of byte i of w.
+	s := w - ((w >> 1) & 0x5555555555555555)
+	s = (s & 0x3333333333333333) + ((s >> 2) & 0x3333333333333333)
+	s = (s + (s >> 4)) & 0x0f0f0f0f0f0f0f0f
+	// ps: byte i holds the popcount of bytes 0..i (prefix sums).
+	ps := s * l8
+	// High bit of byte i of ge is set iff prefix(i) >= k; the byte
+	// holding the k-th bit is the first such, i.e. 8 minus their count.
+	ge := ((ps | h8) - uint64(k)*l8) & h8
+	byteIdx := 8 - int(((ge>>7)*l8)>>56)
+	// Rank of the target bit within its byte: k minus the previous
+	// byte's prefix (shift in a zero for byte 0).
+	prev := int((ps << 8) >> (8 * uint(byteIdx)) & 0xff)
+	b := byte(w >> (8 * uint(byteIdx)))
+	return 8*byteIdx + int(selByte[b][k-prev-1])
+}
+
+// RawParts exposes the vector's backing arrays for serialization in
+// their in-memory shape (the XQO2 resident format stores them verbatim
+// so a mapped file can be aliased back without rebuilding). The slices
+// are the live backing store; callers must not modify them.
+func (v *Vector) RawParts() (words, super []uint64, n, ones int) {
+	return v.words, v.super, v.n, v.ones
+}
+
+// FromRawParts reassembles a Vector around existing backing arrays —
+// typically slices aliasing an mmap'd XQO2 section — without copying or
+// rebuilding the rank directory. It validates the shape invariants
+// (array lengths, superblock monotonicity, total count) so a corrupt or
+// truncated file fails here instead of panicking later; per-word bit
+// counts are vouched for by the layout's checksums.
+func FromRawParts(words, super []uint64, n, ones int) (*Vector, error) {
+	if n < 0 || ones < 0 || ones > n {
+		return nil, fmt.Errorf("bitvec: invalid bit counts n=%d ones=%d", n, ones)
 	}
-	return bits.TrailingZeros64(w)
+	if want := (n + wordBits - 1) / wordBits; len(words) != want {
+		return nil, fmt.Errorf("bitvec: %d words for %d bits (want %d)", len(words), n, want)
+	}
+	nSuper := (len(words) + wordsPer - 1) / wordsPer
+	if len(super) != nSuper+1 {
+		return nil, fmt.Errorf("bitvec: %d superblock entries (want %d)", len(super), nSuper+1)
+	}
+	for i := 1; i < len(super); i++ {
+		if super[i] < super[i-1] {
+			return nil, fmt.Errorf("bitvec: superblock ranks not monotone at %d", i)
+		}
+	}
+	if super[nSuper] != uint64(ones) {
+		return nil, fmt.Errorf("bitvec: superblock total %d != ones %d", super[nSuper], ones)
+	}
+	return &Vector{words: words, n: n, super: super, ones: ones}, nil
 }
 
 // String renders short vectors as 0/1 strings for debugging.

@@ -1,0 +1,56 @@
+package bitvec
+
+import "testing"
+
+// FuzzRankSelect drives the word-level kernels (popcount ranks, the
+// broadword in-word select, the superblock directories) from arbitrary
+// bytes: each input byte contributes its bits, the final byte's count is
+// taken from the first byte so lengths straddle word and superblock
+// boundaries. Every rank and select is checked against the per-bit
+// oracles, plus the rank/select inverse laws.
+func FuzzRankSelect(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0xaa, 0x55, 0x00, 0xff, 0x13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 512 {
+			t.Skip()
+		}
+		n := len(data)*8 - int(data[0]%8)
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = data[i/8]&(1<<(i%8)) != 0
+		}
+		v := FromBools(bits)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		ones := naiveRank1(bits, n)
+		if v.Ones() != ones || v.Zeros() != n-ones {
+			t.Fatalf("ones/zeros = %d/%d, want %d/%d", v.Ones(), v.Zeros(), ones, n-ones)
+		}
+		for i := 0; i <= n; i++ {
+			if got, want := v.Rank1(i), naiveRank1(bits, i); got != want {
+				t.Fatalf("Rank1(%d) = %d, want %d", i, got, want)
+			}
+		}
+		for k := 1; k <= ones; k++ {
+			p := v.Select1(k)
+			if want := naiveSelect1(bits, k); p != want {
+				t.Fatalf("Select1(%d) = %d, want %d", k, p, want)
+			}
+			if v.Rank1(p+1) != k {
+				t.Fatalf("Rank1(Select1(%d)+1) = %d", k, v.Rank1(p+1))
+			}
+		}
+		for k := 1; k <= n-ones; k++ {
+			p := v.Select0(k)
+			if want := naiveSelect0(bits, k); p != want {
+				t.Fatalf("Select0(%d) = %d, want %d", k, p, want)
+			}
+		}
+		if v.Select1(ones+1) != -1 || v.Select0(n-ones+1) != -1 {
+			t.Fatal("select past the population must return -1")
+		}
+	})
+}

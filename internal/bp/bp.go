@@ -8,12 +8,53 @@
 package bp
 
 import (
+	"fmt"
+
 	"repro/internal/bitvec"
 )
 
 // blockBits is the span of one min-excess block. Queries scan at most one
 // block at each end plus O(log(n/blockBits)) summary nodes.
 const blockBits = 256
+
+// Byte-parallel excess tables: for each 8-bit parenthesis group b (bit 0
+// first, 1 = open), byteSum[b] is the total excess delta of the group
+// and byteMin[b] the minimum prefix excess within it (over prefixes of
+// length 1..8, relative to the excess at the group's start). A block
+// scan consults these to step 8 positions at a time, touching the bits
+// themselves only inside the single byte that contains the answer —
+// and there fwdDepth resolves the hit without a bit loop: fwdDepth[b][d-1]
+// is the length of the shortest prefix of b with excess exactly -d
+// (d in 1..8; 255 = unreachable, excluded by the byteMin test first).
+var (
+	byteSum  [256]int8
+	byteMin  [256]int8
+	fwdDepth [256][8]uint8
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		for d := range fwdDepth[b] {
+			fwdDepth[b][d] = 255
+		}
+		ex, min := 0, 127
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				ex++
+			} else {
+				ex--
+			}
+			if ex < min {
+				min = ex
+			}
+			if ex < 0 && fwdDepth[b][-ex-1] == 255 {
+				fwdDepth[b][-ex-1] = uint8(i)
+			}
+		}
+		byteSum[b] = int8(ex)
+		byteMin[b] = int8(min)
+	}
+}
 
 // Tree is an immutable balanced-parentheses tree.
 type Tree struct {
@@ -108,7 +149,18 @@ func (t *Tree) buildBlocks() {
 		if end > m {
 			end = m
 		}
-		for i := start; i < end; i++ {
+		// Whole bytes via the excess tables, the ragged tail per bit
+		// (block starts are byte-aligned; only the final block can be
+		// ragged).
+		i := start
+		for ; i+8 <= end; i += 8 {
+			b := t.paren.Byte(i)
+			if me := sum + int32(byteMin[b]); me < minEx {
+				minEx = me
+			}
+			sum += int32(byteSum[b])
+		}
+		for ; i < end; i++ {
 			if t.paren.Get(i) {
 				sum++
 			} else {
@@ -151,6 +203,102 @@ func (t *Tree) Excess(i int) int {
 	return 2*t.paren.Rank1(i+1) - (i + 1)
 }
 
+// scanFwd looks for the smallest j in [from, to) with Excess(j) == target,
+// given ex = Excess(from-1). It requires ex > target at every position
+// before the hit (which holds for fwdSearch's only use, FindClose: excess
+// moves in ±1 steps, so it cannot pass below target without equalling it).
+// That invariant is what lets whole bytes be skipped: the target is inside
+// a byte iff the byte's min prefix excess dips to it, and then fwdDepth
+// pinpoints the bit without a scan. Returns the hit and its excess, or
+// (-1, Excess(to-1)) if the range has no hit.
+func (t *Tree) scanFwd(from, to, ex, target int) (int, int) {
+	j := from
+	for ; j < to && j&7 != 0; j++ {
+		if t.paren.Get(j) {
+			ex++
+		} else {
+			ex--
+		}
+		if ex == target {
+			return j, ex
+		}
+	}
+	for ; j+8 <= to; j += 8 {
+		b := t.paren.Byte(j)
+		if d := ex - target; d <= 8 && int(byteMin[b]) <= -d {
+			return j + int(fwdDepth[b][d-1]), target
+		}
+		ex += int(byteSum[b])
+	}
+	for ; j < to; j++ {
+		if t.paren.Get(j) {
+			ex++
+		} else {
+			ex--
+		}
+		if ex == target {
+			return j, ex
+		}
+	}
+	return -1, ex
+}
+
+// scanBwd looks for the largest q in [lo-1, p-1] with Excess(q) == target,
+// given ex = Excess(p). Like scanFwd it byte-steps: a byte can be skipped
+// unless the excesses at its interior boundaries dip to target, which under
+// bwdSearch's enclosing precondition only happens in the byte holding the
+// answer (positions right of the answer all have excess > target). Returns
+// (q, true, Excess(q)) on a hit — note q may be -1, meaning position -1
+// with Excess(-1) == 0 == target — or (-1, false, Excess(lo-1)) otherwise.
+func (t *Tree) scanBwd(p, lo, ex, target int) (int, bool, int) {
+	j := p
+	for ; j >= lo && j&7 != 7; j-- {
+		if t.paren.Get(j) {
+			ex--
+		} else {
+			ex++
+		}
+		if ex == target {
+			return j - 1, true, ex
+		}
+	}
+	for ; j-7 >= lo; j -= 8 {
+		b := t.paren.Byte(j - 7)
+		m0 := int(byteMin[b])
+		if m0 > 0 {
+			m0 = 0
+		}
+		if ex-int(byteSum[b])+m0 <= target {
+			// The byte contains the answer; resolve it per bit. The
+			// fallthrough is defensive — under the precondition the
+			// inner loop always returns.
+			bex := ex
+			for k := j; k >= j-7; k-- {
+				if t.paren.Get(k) {
+					bex--
+				} else {
+					bex++
+				}
+				if bex == target {
+					return k - 1, true, bex
+				}
+			}
+		}
+		ex -= int(byteSum[b])
+	}
+	for ; j >= lo; j-- {
+		if t.paren.Get(j) {
+			ex--
+		} else {
+			ex++
+		}
+		if ex == target {
+			return j - 1, true, ex
+		}
+	}
+	return -1, false, ex
+}
+
 // fwdSearch finds the smallest j > i such that Excess(j) == target,
 // or -1 if none exists.
 func (t *Tree) fwdSearch(i int, target int) int {
@@ -162,15 +310,9 @@ func (t *Tree) fwdSearch(i int, target int) int {
 	if end > m {
 		end = m
 	}
-	for j := i + 1; j < end; j++ {
-		if t.paren.Get(j) {
-			ex++
-		} else {
-			ex--
-		}
-		if ex == target {
-			return j
-		}
+	j, ex := t.scanFwd(i+1, end, ex, target)
+	if j >= 0 {
+		return j
 	}
 	if end == m {
 		return -1
@@ -221,17 +363,8 @@ func (t *Tree) fwdSearch(i int, target int) int {
 	if stop > m {
 		stop = m
 	}
-	for j := start; j < stop; j++ {
-		if t.paren.Get(j) {
-			ex++
-		} else {
-			ex--
-		}
-		if ex == target {
-			return j
-		}
-	}
-	return -1
+	j, _ = t.scanFwd(start, stop, ex, target)
+	return j
 }
 
 // bwdSearch finds the largest j < i such that Excess(j) == target, or -1 if
@@ -243,19 +376,12 @@ func (t *Tree) bwdSearch(i int, target int) int {
 	ex := t.Excess(i)
 	blk := i / blockBits
 	start := blk * blockBits
-	for j := i; j >= start; j-- {
-		if t.paren.Get(j) {
-			ex--
-		} else {
-			ex++
-		}
-		// ex is now Excess(j-1).
-		if ex == target {
-			return j - 1
-		}
-		if j == 0 {
-			return -1
-		}
+	j, ok, ex := t.scanBwd(i, start, ex, target)
+	if ok {
+		return j
+	}
+	if start == 0 {
+		return -1
 	}
 	// ex is the excess just before the block. Climb the segment tree
 	// leftward looking for a subtree whose absolute minimum reaches
@@ -300,16 +426,14 @@ func (t *Tree) bwdSearch(i int, target int) int {
 	if stop > t.paren.Len() {
 		stop = t.paren.Len()
 	}
-	// ex is Excess(stop-1); scan backward for the hit.
-	for j := stop - 1; j >= start; j-- {
-		if ex == target {
-			return j
-		}
-		if t.paren.Get(j) {
-			ex--
-		} else {
-			ex++
-		}
+	// ex is Excess(stop-1); the descent guarantees the hit is in this
+	// block. Check the block's last position, then byte-scan the rest.
+	if ex == target {
+		return stop - 1
+	}
+	j, ok, _ = t.scanBwd(stop-1, start+1, ex, target)
+	if ok {
+		return j
 	}
 	return -1
 }
@@ -362,6 +486,69 @@ func (t *Tree) Splice(at, del int, ins []bool) *Tree {
 	nt := &Tree{paren: b.Build(), n: t.n - del/2 + len(ins)/2}
 	nt.buildBlocks()
 	return nt
+}
+
+// Raw is the flat decomposition of a Tree: the parenthesis vector's parts
+// plus the min-excess segment tree arrays, exactly as held in memory. The
+// XQO2 resident format stores these sections verbatim so a mapped file can
+// be reassembled with FromRaw without rebuilding anything.
+type Raw struct {
+	Words    []uint64
+	Super    []uint64
+	ParenLen int
+	Ones     int
+	BlockMin []int32
+	BlockSum []int32
+	NumNodes int
+}
+
+// Raw exposes the tree's backing arrays. The slices are the live backing
+// store; callers must not modify them.
+func (t *Tree) Raw() Raw {
+	words, super, n, ones := t.paren.RawParts()
+	return Raw{
+		Words:    words,
+		Super:    super,
+		ParenLen: n,
+		Ones:     ones,
+		BlockMin: t.blockMin,
+		BlockSum: t.blockSum,
+		NumNodes: t.n,
+	}
+}
+
+// FromRaw reassembles a Tree around existing backing arrays — typically
+// slices aliasing an mmap'd XQO2 section — without copying or rebuilding
+// the block summaries. Shape invariants are validated so a corrupt file
+// fails here with an error instead of panicking later.
+func FromRaw(r Raw) (*Tree, error) {
+	v, err := bitvec.FromRawParts(r.Words, r.Super, r.ParenLen, r.Ones)
+	if err != nil {
+		return nil, fmt.Errorf("bp: paren vector: %w", err)
+	}
+	if r.ParenLen != 2*r.NumNodes || r.Ones != r.NumNodes {
+		return nil, fmt.Errorf("bp: %d paren bits / %d ones for %d nodes", r.ParenLen, r.Ones, r.NumNodes)
+	}
+	numBlocks := (r.ParenLen + blockBits - 1) / blockBits
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	leafBase := 1
+	for leafBase < numBlocks {
+		leafBase *= 2
+	}
+	if len(r.BlockMin) != 2*leafBase || len(r.BlockSum) != 2*leafBase {
+		return nil, fmt.Errorf("bp: segment tree arrays %d/%d entries (want %d)",
+			len(r.BlockMin), len(r.BlockSum), 2*leafBase)
+	}
+	return &Tree{
+		paren:     v,
+		blockMin:  r.BlockMin,
+		blockSum:  r.BlockSum,
+		numBlocks: numBlocks,
+		leafBase:  leafBase,
+		n:         r.NumNodes,
+	}, nil
 }
 
 // --- Node-level navigation. Nodes are 0-based preorder ranks. ---

@@ -1,0 +1,176 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// XQO2 sections for the jumping index. The per-label occurrence lists are
+// stored as one concatenated preorder array plus a cumulative offset
+// directory, so opening a mapped file rebuilds only the sigma slice
+// headers — the occurrence data itself is aliased in place. The lazy
+// BottomMost cache is not serialized; it rebuilds on demand as usual.
+//
+// Section kinds 32+ belong to this package (tree owns kinds below 32).
+const (
+	SecOccOff uint32 = 32 // []uint64, len sigma+1: cumulative occurrence offsets
+	SecOccAll uint32 = 33 // []NodeID: all occurrence lists, concatenated by label
+	SecBinEnd uint32 = 34 // []NodeID, len numNodes: binary-subtree ends
+)
+
+// AddSections serializes ix into w. The binEnd and occurrence arrays are
+// aliased, not copied; only the offset directory is materialized.
+func AddSections(w *tree.LayoutWriter, ix *Index) {
+	occOff := make([]uint64, 0, len(ix.occ)+1)
+	total := 0
+	for _, occ := range ix.occ {
+		occOff = append(occOff, uint64(total))
+		total += len(occ)
+	}
+	occOff = append(occOff, uint64(total))
+	occAll := make([]tree.NodeID, 0, total)
+	for _, occ := range ix.occ {
+		occAll = append(occAll, occ...)
+	}
+	w.Add(SecOccOff, tree.SliceBytes(occOff))
+	w.Add(SecOccAll, tree.SliceBytes(occAll))
+	w.Add(SecBinEnd, tree.SliceBytes(ix.binEnd))
+}
+
+// FromLayout reassembles the index for d from an opened container. Every
+// occ[l] is a subslice of the mapped occurrence section; d must be the
+// document opened from the same container (the occurrence node ids and
+// binEnd values are validated against it).
+func FromLayout(l *tree.Layout, d *tree.Document) (*Index, error) {
+	n := d.NumNodes()
+	sigma := d.Names().Size()
+	occOffBytes := l.Section(SecOccOff)
+	occOff, err := tree.AliasSlice[uint64](occOffBytes)
+	if err != nil {
+		return nil, fmt.Errorf("index: xqo2 occ offsets: %w", err)
+	}
+	if len(occOff) != sigma+1 {
+		return nil, fmt.Errorf("index: xqo2: %d occ offsets for %d labels", len(occOff), sigma)
+	}
+	occAll, err := tree.AliasSlice[tree.NodeID](l.Section(SecOccAll))
+	if err != nil {
+		return nil, fmt.Errorf("index: xqo2 occurrences: %w", err)
+	}
+	// Every node occurs exactly once across all lists.
+	if occOff[sigma] != uint64(len(occAll)) || len(occAll) != n {
+		return nil, fmt.Errorf("index: xqo2: %d occurrences for %d nodes", len(occAll), n)
+	}
+	binEnd, err := tree.AliasSlice[tree.NodeID](l.Section(SecBinEnd))
+	if err != nil {
+		return nil, fmt.Errorf("index: xqo2 binEnd: %w", err)
+	}
+	if len(binEnd) != n {
+		return nil, fmt.Errorf("index: xqo2: %d binEnd entries for %d nodes", len(binEnd), n)
+	}
+	ix := &Index{
+		doc:        d,
+		occ:        make([][]tree.NodeID, sigma),
+		binEnd:     binEnd,
+		bottomMost: make([][]tree.NodeID, sigma),
+		built:      make([]bool, sigma),
+	}
+	// Per-label shape checks here are O(sigma): the offset directory must
+	// be monotone within bounds, and each non-empty list's head must
+	// actually carry the label — a cheap spot check that catches a
+	// mis-paired occurrence section. Element-wise validation (every
+	// occurrence strictly increasing and in range) is the opt-in
+	// VerifyStructure pass; the default open trusts checksummed content.
+	for lab := 0; lab < sigma; lab++ {
+		lo, hi := occOff[lab], occOff[lab+1]
+		if lo > hi || hi > uint64(len(occAll)) {
+			return nil, fmt.Errorf("index: xqo2: label %d occ range [%d,%d) invalid", lab, lo, hi)
+		}
+		if hi > lo {
+			if u := occAll[lo]; int(u) < n && d.Label(u) != tree.LabelID(lab) {
+				return nil, fmt.Errorf("index: xqo2: label %d occurrence list starts at node %d carrying label %d", lab, u, d.Label(u))
+			}
+		}
+		ix.occ[lab] = occAll[lo:hi:hi]
+	}
+	return ix, nil
+}
+
+// VerifyStructure runs the element-wise validation the zero-copy open
+// skips by default: binEnd forming valid [v, n) intervals and every
+// occurrence list strictly increasing within [0, n). See
+// tree.Document.VerifyStructure for the trust model — this is the
+// defense for files from outside this process, where a crafted value
+// that passes the checksums would otherwise panic a later query.
+func (ix *Index) VerifyStructure() error {
+	n := ix.doc.NumNodes()
+	binEnd := ix.binEnd
+	// binEnd[v] must lie in [v, n): branchless OR/AND folds (sign of
+	// binEnd[v]-v, sign of the raw value, AND of binEnd[v]-n), unrolled
+	// four ways with independent accumulators so the 1-cycle fold chains
+	// don't cap the scan; re-scan for the offending node on failure.
+	var u0, u1, u2, u3 uint32
+	a0, a1, a2, a3 := ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)
+	v := 0
+	for ; v+4 <= len(binEnd); v += 4 {
+		e0, e1, e2, e3 := binEnd[v], binEnd[v+1], binEnd[v+2], binEnd[v+3]
+		u0 |= uint32(int32(e0)-int32(v)) | uint32(e0)
+		a0 &= uint32(e0) - uint32(n)
+		u1 |= uint32(int32(e1)-int32(v)-1) | uint32(e1)
+		a1 &= uint32(e1) - uint32(n)
+		u2 |= uint32(int32(e2)-int32(v)-2) | uint32(e2)
+		a2 &= uint32(e2) - uint32(n)
+		u3 |= uint32(int32(e3)-int32(v)-3) | uint32(e3)
+		a3 &= uint32(e3) - uint32(n)
+	}
+	for ; v < len(binEnd); v++ {
+		u0 |= uint32(int32(binEnd[v])-int32(v)) | uint32(binEnd[v])
+		a0 &= uint32(binEnd[v]) - uint32(n)
+	}
+	if (u0|u1|u2|u3)>>31 != 0 || (len(binEnd) > 0 && (a0&a1&a2&a3)>>31 == 0) {
+		for v, e := range binEnd {
+			if int(e) < v || int(e) >= n {
+				return fmt.Errorf("index: xqo2: node %d binEnd %d out of range", v, e)
+			}
+		}
+	}
+	for lab, occ := range ix.occ {
+		// Strictly increasing within [0, n): OR-fold the sign of each
+		// step u[i]-u[i-1]-1 (catches non-increase; the first element
+		// folds its own sign bit to catch negatives) and AND-fold u-n
+		// (clear top bit means some u >= n). Each step only depends on
+		// two loads, so the four lanes run independently; re-scan with
+		// branches only on failure.
+		var b0, b1, b2, b3 uint32
+		c0, c1, c2, c3 := ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)
+		if len(occ) > 0 {
+			b0 |= uint32(occ[0])
+			c0 &= uint32(occ[0]) - uint32(n)
+			i := 1
+			for ; i+4 <= len(occ); i += 4 {
+				b0 |= uint32(int32(occ[i]) - int32(occ[i-1]) - 1)
+				c0 &= uint32(occ[i]) - uint32(n)
+				b1 |= uint32(int32(occ[i+1]) - int32(occ[i]) - 1)
+				c1 &= uint32(occ[i+1]) - uint32(n)
+				b2 |= uint32(int32(occ[i+2]) - int32(occ[i+1]) - 1)
+				c2 &= uint32(occ[i+2]) - uint32(n)
+				b3 |= uint32(int32(occ[i+3]) - int32(occ[i+2]) - 1)
+				c3 &= uint32(occ[i+3]) - uint32(n)
+			}
+			for ; i < len(occ); i++ {
+				b0 |= uint32(int32(occ[i]) - int32(occ[i-1]) - 1)
+				c0 &= uint32(occ[i]) - uint32(n)
+			}
+		}
+		if (b0|b1|b2|b3)>>31 != 0 || (len(occ) > 0 && (c0&c1&c2&c3)>>31 == 0) {
+			p := -1
+			for _, u := range occ {
+				if int(u) >= n || int(u) <= p {
+					return fmt.Errorf("index: xqo2: label %d occurrence %d invalid", lab, u)
+				}
+				p = int(u)
+			}
+		}
+	}
+	return nil
+}

@@ -15,6 +15,15 @@
 //
 // Unexported helpers returning carved memory to their in-package
 // callers are the arena plumbing itself and stay legal.
+//
+// The same discipline covers slices aliased from an mmapx.Mapping via
+// Data(): such a slice is backed by file pages that the runtime unmaps
+// once the Mapping is unreachable, so a bare slice parked in a
+// package-level variable, an exported return or a long-lived closure can
+// dangle. Structures that retain the Mapping alongside the aliased
+// arrays (the XQO2 zero-copy open path) hand the slice straight into a
+// constructor call, which launders it — the callee owns keeping the
+// Mapping reachable.
 package arenaescape
 
 import (
@@ -30,9 +39,11 @@ var Analyzer = &lint.Analyzer{
 	Run:  run,
 }
 
-// arena method sets that hand out Reset-scoped storage.
-var arenaTypes = map[string]bool{"sliceArena": true, "tiStore": true, "openTable": true}
-var carveFns = map[string]bool{"carve": true, "carveFull": true, "copyOf": true, "new": true}
+// arena method sets that hand out lifetime-scoped storage: the pooled
+// evaluation arenas (valid until Reset) and read-only mappings (valid
+// while the Mapping is reachable).
+var arenaTypes = map[string]bool{"sliceArena": true, "tiStore": true, "openTable": true, "Mapping": true}
+var carveFns = map[string]bool{"carve": true, "carveFull": true, "copyOf": true, "new": true, "Data": true}
 
 func run(pass *lint.Pass) (any, error) {
 	for _, f := range pass.Files {

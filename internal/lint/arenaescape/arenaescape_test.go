@@ -7,5 +7,5 @@ import (
 )
 
 func TestFixtures(t *testing.T) {
-	linttest.Run(t, ".", Analyzer, "asta")
+	linttest.Run(t, ".", Analyzer, "asta", "mapped")
 }

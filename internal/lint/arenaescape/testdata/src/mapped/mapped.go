@@ -1,0 +1,53 @@
+// Fixture for arenaescape's mapping rules: slices aliased from a
+// read-only Mapping (internal/mmapx) are backed by file pages that are
+// unmapped once the Mapping becomes unreachable, so they must not be
+// parked anywhere that drops the Mapping on the floor. Mirrors the XQO2
+// zero-copy open path.
+package mapped
+
+type Mapping struct{ data []byte }
+
+func (m *Mapping) Data() []byte { return m.data }
+
+var residentHeader []byte
+
+// Escape 1: exported return of mapping-aliased bytes — the caller has no
+// handle on the Mapping keeping the pages alive.
+func Header(m *Mapping) []byte {
+	b := m.Data()
+	return b[:24] // want "escapes via return from exported Header"
+}
+
+// Escape 2: package-level store outlives any particular Mapping.
+func PinHeader(m *Mapping) {
+	b := m.Data()
+	hdr := b[:24]
+	residentHeader = hdr // want "stored into package-level residentHeader"
+}
+
+// Escape 3: closure capture may outlive the Mapping.
+func Reader(m *Mapping) func(int) byte {
+	b := m.Data()
+	return func(i int) byte { return b[i] } // want "captured by a closure"
+}
+
+// Legal: the zero-copy open shape — the aliased slice goes straight into
+// a constructor call, and the callee retains the Mapping alongside it.
+type layout struct {
+	all []byte
+	m   *Mapping
+}
+
+func openLayout(b []byte, m *Mapping) *layout { return &layout{all: b, m: m} }
+
+func Open(m *Mapping) *layout {
+	return openLayout(m.Data(), m)
+}
+
+// Legal: copying out of the mapping materializes heap bytes.
+func Materialize(m *Mapping) []byte {
+	b := m.Data()
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -131,6 +133,9 @@ func loadTree(dirs map[string]string, modPath string) ([]*Package, error) {
 			if err != nil {
 				return nil, err
 			}
+			if excludedByBuildTags(f) {
+				continue
+			}
 			p.files = append(p.files, f)
 			for _, spec := range f.Imports {
 				ipath, _ := strconv.Unquote(spec.Path.Value)
@@ -191,6 +196,43 @@ func loadTree(dirs map[string]string, modPath string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// excludedByBuildTags reports whether a //go:build line rules the file
+// out on the analyzer's own platform. Platform-variant files (the mmapx
+// unix/fallback pair) would otherwise typecheck as duplicate
+// declarations in one package.
+func excludedByBuildTags(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false
+			}
+			return !expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH:
+					return true
+				case "unix":
+					// The GOOSes the go tool treats as unix and that this
+					// repo could plausibly run on.
+					switch runtime.GOOS {
+					case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos", "aix":
+						return true
+					}
+					return false
+				}
+				return strings.HasPrefix(tag, "go1") // language version tags
+			})
+		}
+	}
+	return false
 }
 
 // treeImporter resolves intra-tree imports from the packages already

@@ -1,0 +1,11 @@
+//go:build linux
+
+package mmapx
+
+import "syscall"
+
+// MAP_POPULATE prefaults the whole mapping inside the mmap call: one
+// page-table walk in the kernel instead of a trap per 4KiB page on first
+// touch. Open is the preload path — the checksum pass reads every byte
+// immediately anyway — so batching the faults is strictly cheaper.
+const mapFlags = syscall.MAP_SHARED | syscall.MAP_POPULATE

@@ -1,0 +1,9 @@
+//go:build unix && !linux
+
+package mmapx
+
+import "syscall"
+
+// Non-Linux unix has no MAP_POPULATE; pages fault in lazily on first
+// touch (the open-time checksum pass warms them all anyway).
+const mapFlags = syscall.MAP_SHARED

@@ -1,0 +1,47 @@
+// Package mmapx is a thin read-only memory-mapping layer for the XQO2
+// resident document format. A Mapping hands out a []byte that aliases the
+// file's pages; the tree/index layers reinterpret slices of it in place,
+// so opening a corpus costs page-table setup instead of parsing.
+//
+// Lifetime rules (see DESIGN.md "Resident format & paging"):
+//
+//   - Release is advisory: it tells the OS the pages are cold
+//     (madvise(DONTNEED) on Unix). The mapping stays valid — outstanding
+//     readers simply refault the pages from the file — so the store can
+//     shed resident memory for evicted documents without tracking readers.
+//   - The mapping is unmapped only by a finalizer once nothing references
+//     the Mapping anymore. Every structure aliasing the data keeps a
+//     pointer to its Mapping, so slices never outlive their pages.
+//
+// On platforms without mmap the package falls back to reading the file
+// into the heap; all APIs keep working, Release becomes a no-op and
+// Mapped reports false so callers can account the bytes as heap.
+package mmapx
+
+import "sync/atomic"
+
+// Mapping is a read-only view of a file's contents.
+type Mapping struct {
+	data []byte
+	// mapped is true when data aliases file pages, false when the
+	// fallback loaded it into the heap.
+	mapped bool
+	// released counts Release calls; the store surfaces it as the
+	// map-fault proxy metric (each release means the next touch faults).
+	released atomic.Int64
+}
+
+// Data returns the mapped bytes. The slice aliases the mapping; callers
+// must not write to it and must keep the Mapping reachable for as long as
+// any derived slice is in use.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Len reports the mapping's size in bytes.
+func (m *Mapping) Len() int { return len(m.data) }
+
+// Mapped reports whether the bytes alias file pages (true) or were read
+// into the heap by the fallback path (false).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Releases reports how many times Release dropped the mapping's pages.
+func (m *Mapping) Releases() int64 { return m.released.Load() }

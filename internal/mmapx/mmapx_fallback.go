@@ -1,0 +1,28 @@
+//go:build !unix
+
+package mmapx
+
+import "os"
+
+// Open falls back to reading the whole file into the heap on platforms
+// without mmap. The Mapping API keeps working; Mapped reports false so
+// the store accounts the bytes as heap-resident.
+func Open(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: false}, nil
+}
+
+// Release is a no-op for heap-backed fallbacks: the garbage collector,
+// not the OS, owns these bytes.
+func (m *Mapping) Release() error {
+	m.released.Add(1)
+	return nil
+}
+
+// Close drops the heap-backed bytes; the garbage collector reclaims them.
+func (m *Mapping) Close() {
+	m.data = nil
+}

@@ -1,0 +1,73 @@
+//go:build unix
+
+package mmapx
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// Open maps path read-only. The returned Mapping is unmapped by a
+// finalizer when it becomes unreachable; callers that alias its data must
+// keep the Mapping reachable (tree.Document does, via its mapping field).
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{mapped: true}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapx: %s: file too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, mapFlags)
+	if err != nil {
+		return nil, fmt.Errorf("mmapx: mmap %s: %w", path, err)
+	}
+	m := &Mapping{data: data, mapped: true}
+	runtime.SetFinalizer(m, (*Mapping).unmap)
+	return m, nil
+}
+
+func (m *Mapping) unmap() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}
+
+// Close unmaps immediately instead of waiting for the finalizer. It is
+// only safe when no slice derived from Data is still in use — every
+// aliased structure must already be dead. Callers that cannot prove that
+// (the store, with MVCC readers possibly holding old generations) must
+// use Release and let the finalizer unmap.
+func (m *Mapping) Close() {
+	runtime.SetFinalizer(m, nil)
+	m.unmap()
+}
+
+// Release tells the OS the mapping's pages are cold and may be dropped
+// (madvise(DONTNEED) for a file-backed read-only mapping discards the
+// page-cache references; the next access refaults from the file). The
+// mapping itself stays valid, so concurrent readers are safe — they just
+// get slower. Errors are reported but harmless: the pages simply stay
+// resident.
+func (m *Mapping) Release() error {
+	if len(m.data) == 0 {
+		return nil
+	}
+	m.released.Add(1)
+	if err := syscall.Madvise(m.data, syscall.MADV_DONTNEED); err != nil {
+		return fmt.Errorf("mmapx: madvise: %w", err)
+	}
+	return nil
+}

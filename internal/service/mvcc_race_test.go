@@ -3,12 +3,15 @@ package service
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/xmlparse"
 )
 
 // TestMVCCChurnHammer is the mutation-era concurrency hammer: on every
@@ -26,12 +29,37 @@ func TestMVCCChurnHammer(t *testing.T) {
 	const shards = 4
 	const docsN = 8
 	svc := New(shard.NewStore(shards), Options{CursorTTL: 50 * time.Millisecond})
+	// Half the corpus is heap-backed (parsed XML), half mmap-backed
+	// (XQO2 save + zero-copy open) under a deliberately tight resident
+	// budget, so the paging enforcer's releases and re-charges race the
+	// patchers and readers below.
+	const seedXML = "<r><a><b/><b/></a><a><b/><b/></a></r>"
+	var mappedBytes int64
 	for i := 0; i < docsN; i++ {
 		id := fmt.Sprintf("d%d", i)
-		if _, err := svc.Store().LoadXML(id, []byte("<r><a><b/><b/></a><a><b/><b/></a></r>")); err != nil {
+		if i%2 == 0 {
+			if _, err := svc.Store().LoadXML(id, []byte(seedXML)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		d, err := xmlparse.Parse([]byte(seedXML))
+		if err != nil {
 			t.Fatal(err)
 		}
+		path := filepath.Join(t.TempDir(), id+".xqo2")
+		if err := store.SaveXQO2File(path, d); err != nil {
+			t.Fatal(err)
+		}
+		h, err := svc.Store().LoadMapped(id, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mappedBytes = h.Stats.MappedBytes
 	}
+	// Budget for about one and a half mapped documents across the whole
+	// store: cold mappings are continuously released and re-heated.
+	svc.Store().SetResidentBudget(mappedBytes + mappedBytes/2)
 	docID := func(i int) string { return fmt.Sprintf("d%d", i%docsN) }
 
 	iters := 120

@@ -154,6 +154,14 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	p.Family("xpqd_mvcc_generations_retired_total", "Generations garbage-collected after their readers drained.", obsv.TypeCounter)
 	eachShard(p, st, "xpqd_mvcc_generations_retired_total", func(ss *ShardStats) float64 { return float64(ss.MVCC.Retired) })
 
+	// Mapped (mmap-backed) documents, per shard.
+	p.Family("xpqd_store_mapped_bytes", "Bytes of mmap-backed document files per shard.", obsv.TypeGauge)
+	eachShard(p, st, "xpqd_store_mapped_bytes", func(ss *ShardStats) float64 { return float64(ss.Mapped.MappedBytes) })
+	p.Family("xpqd_store_mapped_charged_bytes", "Mapped bytes counted hot against the resident budget.", obsv.TypeGauge)
+	eachShard(p, st, "xpqd_store_mapped_charged_bytes", func(ss *ShardStats) float64 { return float64(ss.Mapped.ChargedBytes) })
+	p.Family("xpqd_store_map_faults_total", "Accesses that re-heated a budget-released mapping.", obsv.TypeCounter)
+	eachShard(p, st, "xpqd_store_map_faults_total", func(ss *ShardStats) float64 { return float64(ss.Mapped.MapFaults) })
+
 	// Residency and contention, per shard.
 	p.Family("xpqd_shard_documents", "Documents resident per shard.", obsv.TypeGauge)
 	eachShard(p, st, "xpqd_shard_documents", func(ss *ShardStats) float64 { return float64(ss.Documents) })

@@ -777,6 +777,11 @@ type ShardStats struct {
 	// MVCC reports this shard's generation chains: live and pinned
 	// generations, patches applied, generations retired.
 	MVCC store.MVCCStats `json:"mvcc"`
+	// Mapped reports this shard's mmap-backed documents: total mapped
+	// bytes, the charged (presumed-OS-resident) subset under the
+	// resident budget, and map faults (touches that re-heated a
+	// released mapping).
+	Mapped store.MappedStats `json:"mapped"`
 }
 
 // Stats is a point-in-time snapshot of the whole service plus the
@@ -800,6 +805,8 @@ type Stats struct {
 	// the snapshot sweeps expired cursor leases, so stats/metrics
 	// scraping doubles as the lease janitor.
 	MVCC store.MVCCStats `json:"mvcc"`
+	// Mapped aggregates mmap-backed document accounting across shards.
+	Mapped store.MappedStats `json:"mapped"`
 	// HeapAllocObjects is the process's cumulative heap allocations
 	// since the service started; AllocsPerQuery divides it by the
 	// query total — the observed (process-wide, so conservative)
@@ -836,6 +843,7 @@ func (s *Service) Stats() Stats {
 		sh.mu.Unlock()
 		auto.Finalize()
 		mvcc := sh.part.MVCC()
+		mapped := sh.part.Mapped()
 		ss := ShardStats{
 			Shard:         sh.index,
 			Documents:     len(docs),
@@ -851,10 +859,14 @@ func (s *Service) Stats() Stats {
 			PoolHitRate:   pool.HitRate(),
 			Auto:          auto,
 			MVCC:          mvcc,
+			Mapped:        mapped,
 		}
 		pool.AddTo(&out.Pool)
 		auto.AddTo(&out.Auto)
 		mvcc.AddTo(&out.MVCC)
+		out.Mapped.MappedBytes += mapped.MappedBytes
+		out.Mapped.ChargedBytes += mapped.ChargedBytes
+		out.Mapped.MapFaults += mapped.MapFaults
 		ss.LockWaitTotalNS = sh.lockWaitNS.Load()
 		if ss.LockAcquires > 0 {
 			ss.LockWaitMeanNS = ss.LockWaitTotalNS / int64(ss.LockAcquires)

@@ -75,6 +75,49 @@ func (s *Store) GenerateXMark(id string, scale float64, seed int64) (*store.Hand
 	return s.part(id).GenerateXMark(id, scale, seed)
 }
 
+// LoadMapped opens an XQO2 file zero-copy (mmap) and registers it on the
+// owning shard.
+func (s *Store) LoadMapped(id, path string) (*store.Handle, error) {
+	return s.part(id).LoadMapped(id, path)
+}
+
+// SetResidentBudget splits a process-wide mapped-bytes budget evenly
+// across shards; 0 or negative means unlimited everywhere. Per-shard
+// budgets keep enforcement lock-local, at the cost of a shard not being
+// able to borrow headroom from an idle neighbor.
+func (s *Store) SetResidentBudget(b int64) {
+	per := b
+	if b > 0 {
+		per = b / int64(len(s.parts))
+		if per < 1 {
+			per = 1
+		}
+	}
+	for _, p := range s.parts {
+		p.SetResidentBudget(per)
+	}
+}
+
+// SetVerifyResident toggles full structural verification for every
+// shard's mapped loads (see store.Store.SetVerifyResident).
+func (s *Store) SetVerifyResident(v bool) {
+	for _, p := range s.parts {
+		p.SetVerifyResident(v)
+	}
+}
+
+// Mapped aggregates mapped-document accounting across all shards.
+func (s *Store) Mapped() store.MappedStats {
+	var out store.MappedStats
+	for _, p := range s.parts {
+		st := p.Mapped()
+		out.MappedBytes += st.MappedBytes
+		out.ChargedBytes += st.ChargedBytes
+		out.MapFaults += st.MapFaults
+	}
+	return out
+}
+
 // Get returns the handle for id from its owning shard.
 func (s *Store) Get(id string) (*store.Handle, bool) {
 	return s.part(id).Get(id)

@@ -145,6 +145,7 @@ func (s *Store) GetAsOf(id string, gen Gen) (*Handle, error) {
 	if !ok {
 		return nil, fmt.Errorf("store: document %q generation %d: %w", id, gen, ErrGone)
 	}
+	s.touchMapped(id)
 	return e.h, nil
 }
 

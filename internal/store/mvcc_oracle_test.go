@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -198,10 +200,26 @@ var errInapplicable = errors.New("sequence inapplicable")
 // runSequence replays patches through a fresh store, checking every
 // generation. The returned error is errInapplicable when a patch
 // cannot apply (only possible for shrunk subsequences), or a wrapped
-// invariant failure.
-func runSequence(base *tree.Document, patches []tree.Patch) error {
+// invariant failure. With mapped set, the base generation enters the
+// store through an XQO2 save + zero-copy mmap open instead of Add, so
+// every patched generation is a copy-on-write descendant of arrays
+// aliasing a file mapping.
+func runSequence(base *tree.Document, patches []tree.Patch, mapped bool) error {
 	s := store.New()
-	if _, err := s.Add("d", base, store.SourceDirect); err != nil {
+	if mapped {
+		dir, err := os.MkdirTemp("", "xqo2oracle")
+		if err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "base.xqo2")
+		if err := store.SaveXQO2File(path, base); err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+		if _, err := s.LoadMapped("d", path); err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+	} else if _, err := s.Add("d", base, store.SourceDirect); err != nil {
 		return fmt.Errorf("seed: %w", err)
 	}
 	for i, pt := range patches {
@@ -218,13 +236,13 @@ func runSequence(base *tree.Document, patches []tree.Patch) error {
 
 // shrink greedily removes steps while the sequence still fails with a
 // real invariant error (inapplicable candidates are kept out).
-func shrink(base *tree.Document, patches []tree.Patch) []tree.Patch {
+func shrink(base *tree.Document, patches []tree.Patch, mapped bool) []tree.Patch {
 	cur := patches
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(cur); i++ {
 			cand := append(append([]tree.Patch{}, cur[:i]...), cur[i+1:]...)
-			if err := runSequence(base, cand); err != nil && !errors.Is(err, errInapplicable) {
+			if err := runSequence(base, cand, mapped); err != nil && !errors.Is(err, errInapplicable) {
 				cur = cand
 				changed = true
 				break
@@ -258,30 +276,40 @@ func TestMVCCOracleDifferential(t *testing.T) {
 	if testing.Short() {
 		steps = 8
 	}
-	for seed := int64(1); seed <= 6; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
-			base := randDoc(rng)
-			// Generate the sequence by actually applying each patch (a
-			// patch is drawn against the document it will hit).
-			doc := base
-			var patches []tree.Patch
-			for i := 0; i < steps; i++ {
-				pt := randPatch(rng, doc)
-				next, _, err := doc.Apply(pt)
-				if err != nil {
-					t.Fatalf("generating step %d: %v", i, err)
+	// Every seed runs twice: once with a heap-built base generation and
+	// once with an mmap-backed one (XQO2 save + zero-copy open), proving
+	// the copy-on-write patch path never aliases — or corrupts — the
+	// mapped file's arrays.
+	for _, mapped := range []bool{false, true} {
+		name := "heap-base"
+		if mapped {
+			name = "mapped-base"
+		}
+		for seed := int64(1); seed <= 6; seed++ {
+			seed, mapped := seed, mapped
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				base := randDoc(rng)
+				// Generate the sequence by actually applying each patch (a
+				// patch is drawn against the document it will hit).
+				doc := base
+				var patches []tree.Patch
+				for i := 0; i < steps; i++ {
+					pt := randPatch(rng, doc)
+					next, _, err := doc.Apply(pt)
+					if err != nil {
+						t.Fatalf("generating step %d: %v", i, err)
+					}
+					patches = append(patches, pt)
+					doc = next
 				}
-				patches = append(patches, pt)
-				doc = next
-			}
-			if err := runSequence(base, patches); err != nil {
-				min := shrink(base, patches)
-				t.Fatalf("seed %d failed: %v\nshrunk to %d step(s): %s\nbase: %s",
-					seed, err, len(min), describe(min), base.XMLString())
-			}
-		})
+				if err := runSequence(base, patches, mapped); err != nil {
+					min := shrink(base, patches, mapped)
+					t.Fatalf("seed %d failed: %v\nshrunk to %d step(s): %s\nbase: %s",
+						seed, err, len(min), describe(min), base.XMLString())
+				}
+			})
+		}
 	}
 }
 

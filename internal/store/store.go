@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/mmapx"
 	"repro/internal/tree"
 	"repro/internal/xmark"
 	"repro/internal/xmlparse"
@@ -53,6 +54,9 @@ const (
 	// SourcePatch marks generations derived by an incremental subtree
 	// patch rather than a from-source load.
 	SourcePatch Source = "patch"
+	// SourceMapped marks documents opened zero-copy from an mmap'd XQO2
+	// file (see xqo2.go); their arrays alias file pages, not the heap.
+	SourceMapped Source = "mapped"
 )
 
 // Stats describes one resident document generation.
@@ -69,10 +73,15 @@ type Stats struct {
 	// two reserved labels).
 	Labels int `json:"labels"`
 	// MemBytes estimates the resident size of the document plus its
-	// index (flat arrays, occurrence lists, text and label tables).
-	MemBytes int64     `json:"mem_bytes"`
-	Source   Source    `json:"source"`
-	LoadedAt time.Time `json:"loaded_at"`
+	// index (flat arrays, occurrence lists, text and label tables). For
+	// mapped documents this working set is file-backed, not heap.
+	MemBytes int64 `json:"mem_bytes"`
+	// MappedBytes is the size of the XQO2 mapping backing this document
+	// (zero for heap-backed documents and patched generations, which
+	// copy-on-write into the heap).
+	MappedBytes int64     `json:"mapped_bytes,omitempty"`
+	Source      Source    `json:"source"`
+	LoadedAt    time.Time `json:"loaded_at"`
 	// LiveGens counts this document's generations still readable
 	// (latest plus everything pinned by cursors or leases); filled by
 	// List, not meaningful on a Handle's own Stats.
@@ -97,6 +106,10 @@ type Handle struct {
 	Index *index.Index
 	Stats Stats
 	succ  *succCell
+	// mapping is the XQO2 mapping the generation aliases; nil for
+	// heap-backed documents. The store uses it for resident-budget
+	// release; the Document's own reference keeps it alive.
+	mapping *mmapx.Mapping
 }
 
 // Succinct returns the generation's balanced-parentheses view, building
@@ -133,6 +146,17 @@ type Store struct {
 	retireFn func(id string, gen Gen)
 	patches  atomic.Uint64
 	retired  atomic.Uint64
+	// Mapped-document paging state (see xqo2.go): mapped tracks each
+	// resident mapping (guarded by mu); the counters keep the Get fast
+	// path free of locks when no mappings exist.
+	mapped       map[string]*mappedEntry
+	mappedCount  atomic.Int32
+	chargedBytes atomic.Int64
+	mapBudget    atomic.Int64
+	mapFaults    atomic.Uint64
+	// verifyResident selects OpenXQO2Verified for LoadMapped (full
+	// element-wise validation for files from outside this process).
+	verifyResident atomic.Bool
 }
 
 // loadKey identifies one single-flight load slot: the document id plus
@@ -157,6 +181,7 @@ func New() *Store {
 		docs:    make(map[string]*chain),
 		epochs:  make(map[string]uint64),
 		loading: make(map[loadKey]*loadCall),
+		mapped:  make(map[string]*mappedEntry),
 	}
 }
 
@@ -179,6 +204,19 @@ func (s *Store) OnRetire(fn func(id string, gen Gen)) {
 // fails — or its epoch was retired by an Evict mid-build — the waiter
 // (or the winner itself) retries for the current epoch's load slot.
 func (s *Store) load(id string, src Source, build func() (*tree.Document, error)) (*Handle, error) {
+	return s.loadHandle(id, func() (*Handle, error) {
+		d, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return buildHandle(id, d, src), nil
+	})
+}
+
+// loadHandle is load for builders that produce a complete Handle — the
+// mapped-open path arrives with its index and succinct view already
+// aliased from the file, so the document-only builder shape doesn't fit.
+func (s *Store) loadHandle(id string, build func() (*Handle, error)) (*Handle, error) {
 	if id == "" {
 		return nil, fmt.Errorf("store: empty document id")
 	}
@@ -210,7 +248,7 @@ func (s *Store) load(id string, src Source, build func() (*tree.Document, error)
 		s.loading[key] = c
 		s.mu.Unlock()
 
-		h, err := s.runBuild(id, src, build, c, ep)
+		h, err := s.runBuild(id, build, c, ep)
 		if errors.Is(err, errSuperseded) {
 			continue
 		}
@@ -223,7 +261,7 @@ func (s *Store) load(id string, src Source, build func() (*tree.Document, error)
 // panicking build (or parser) must still release the slot and wake
 // waiters with an error, or every later load of the id would wedge; the
 // panic is re-raised.
-func (s *Store) runBuild(id string, src Source, build func() (*tree.Document, error), c *loadCall, ep uint64) (h *Handle, err error) {
+func (s *Store) runBuild(id string, build func() (*Handle, error), c *loadCall, ep uint64) (h *Handle, err error) {
 	finished := false
 	defer func() {
 		if !finished {
@@ -239,16 +277,19 @@ func (s *Store) runBuild(id string, src Source, build func() (*tree.Document, er
 				h, err = nil, errSuperseded
 			} else {
 				s.docs[id] = newChain(h)
+				if h.mapping != nil {
+					// Register the mapping for budget accounting in the
+					// same critical section as the publish, so an Evict
+					// can never observe the chain without the mapping.
+					s.registerMappedLocked(id, h.mapping)
+				}
 			}
 		}
 		s.mu.Unlock()
 		c.err = err
 		close(c.done)
 	}()
-	d, err := build()
-	if err == nil {
-		h = buildHandle(id, d, src)
-	}
+	h, err = build()
 	finished = true
 	return h, err
 }
@@ -346,6 +387,9 @@ func (s *Store) Get(id string) (*Handle, bool) {
 		return nil, false
 	}
 	h := ch.latest.Load()
+	if h != nil {
+		s.touchMapped(id)
+	}
 	return h, h != nil
 }
 
@@ -360,7 +404,17 @@ func (s *Store) Evict(id string) bool {
 	ch, ok := s.docs[id]
 	delete(s.docs, id)
 	s.epochs[id]++
+	me := s.mapped[id]
+	if me != nil {
+		s.dropMappedLocked(id, me)
+	}
 	s.mu.Unlock()
+	if me != nil {
+		// Outside the lock: tell the OS the evicted document's pages are
+		// cold. The mapping stays valid for handles still in flight; it
+		// is unmapped by its finalizer once the last one drops.
+		_ = me.m.Release()
+	}
 	if !ok {
 		return false
 	}
@@ -412,17 +466,12 @@ func (s *Store) Len() int {
 
 // estimateBytes approximates the resident size of a document and its
 // index: six per-node int32 arrays in the document (labels, parent,
-// firstChild, nextSibling, lastDesc, depth), two in the index
-// (occurrence lists partition the nodes; binEnd), text contents, and
-// the label table.
+// firstChild, nextSibling, lastDesc, depth) plus the text-offset array,
+// two more per-node arrays in the index (occurrence lists partition the
+// nodes; binEnd), the text blob, and the label table.
 func estimateBytes(d *tree.Document) int64 {
 	n := int64(d.NumNodes())
-	b := n * (6 + 2) * 4
-	for v := tree.NodeID(0); int(v) < d.NumNodes(); v++ {
-		if t := d.Text(v); t != "" {
-			b += int64(len(t)) + 16 // string header + map entry overhead
-		}
-	}
+	b := n*(7+2)*4 + int64(d.TextBytes())
 	for _, name := range d.Names().Names() {
 		b += int64(len(name)) + 16
 	}

@@ -1,0 +1,351 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/tree"
+	"repro/internal/xmark"
+)
+
+func saveXQO2(t *testing.T, d *tree.Document) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.xqo2")
+	if err := SaveXQO2File(path, d); err != nil {
+		t.Fatalf("SaveXQO2File: %v", err)
+	}
+	return path
+}
+
+// TestXQO2RoundTrip checks that a mapped open reproduces the document,
+// succinct view and index exactly, and that the document survives a
+// release (pages refault from the file).
+func TestXQO2RoundTrip(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.002, Seed: 7})
+	path := saveXQO2(t, d)
+	d2, succ, ix, m, err := OpenXQO2(path)
+	if err != nil {
+		t.Fatalf("OpenXQO2: %v", err)
+	}
+	if d2.NumNodes() != d.NumNodes() {
+		t.Fatalf("nodes %d != %d", d2.NumNodes(), d.NumNodes())
+	}
+	if d2.XMLString() != d.XMLString() {
+		t.Fatal("XML round-trip mismatch")
+	}
+	for v := tree.NodeID(0); int(v) < d2.NumNodes(); v++ {
+		if got, want := d2.Parent(v), d.Parent(v); got != want {
+			t.Fatalf("parent(%d) = %d, want %d", v, got, want)
+		}
+		if got, want := succ.Parent(v), d.Parent(v); got != want {
+			t.Fatalf("succ parent(%d) = %d, want %d", v, got, want)
+		}
+		if got, want := succ.LastDesc(v), d.LastDesc(v); got != want {
+			t.Fatalf("succ lastDesc(%d) = %d, want %d", v, got, want)
+		}
+		if got, want := d2.Text(v), d.Text(v); got != want {
+			t.Fatalf("text(%d) mismatch", v)
+		}
+	}
+	for l := 0; l < d.Names().Size(); l++ {
+		want := d.CountLabel(tree.LabelID(l))
+		if got := ix.Count(tree.LabelID(l)); got != want {
+			t.Fatalf("count(label %d) = %d, want %d", l, got, want)
+		}
+	}
+	// A release drops the pages but not the mapping: reads still work.
+	if err := m.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if d2.XMLString() != d.XMLString() {
+		t.Fatal("XML mismatch after release")
+	}
+}
+
+// TestXQO2Corruption flips bytes across the file and requires every
+// mutation to either fail cleanly at open or produce a fully valid
+// document — never a panic or an out-of-range structure.
+func TestXQO2Corruption(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.001, Seed: 3})
+	path := saveXQO2(t, d)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on corrupted file: %v", r)
+		}
+	}()
+	stride := len(orig)/97 + 1
+	for pos := 0; pos < len(orig); pos += stride {
+		data := bytes.Clone(orig)
+		data[pos] ^= 0x5a
+		mut := filepath.Join(t.TempDir(), "mut.xqo2")
+		if err := os.WriteFile(mut, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d2, succ, ix, _, err := OpenXQO2(mut)
+		if err != nil {
+			continue // rejected cleanly
+		}
+		// Accepted: must be internally consistent enough to query.
+		if d2.NumNodes() < 1 || succ.NumNodes() != d2.NumNodes() || ix.Doc() != d2 {
+			t.Fatalf("byte %d: accepted an inconsistent document", pos)
+		}
+	}
+}
+
+// TestXQO2Malformed covers the explicit rejection matrix: bad magic, bad
+// version, a corrupt section payload (checksum mismatch), and a section
+// table pointing past the end of the file.
+func TestXQO2Malformed(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.001, Seed: 5})
+	path := saveXQO2(t, d)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutants := map[string]func([]byte){
+		"bad magic":   func(b []byte) { copy(b[0:4], "YYYY") },
+		"bad version": func(b []byte) { b[4] = 99 },
+		"corrupt payload": func(b []byte) {
+			// First payload starts at the 64-byte-aligned end of the
+			// section table (header 24 bytes + count entries of 24).
+			count := int(binary.LittleEndian.Uint32(b[16:]))
+			off := (24 + count*24 + 63) &^ 63
+			b[off] ^= 0x5a
+		},
+		"corrupt section table": func(b []byte) {
+			b[40] ^= 0xff // length field of the first table entry
+		},
+	}
+	for name, mutate := range mutants {
+		data := bytes.Clone(orig)
+		mutate(data)
+		mut := filepath.Join(t.TempDir(), "mut.xqo2")
+		if err := os.WriteFile(mut, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, _, err := OpenXQO2(mut); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// rewriteSection mutates the payload of the section with the given kind
+// and re-seals it with a freshly computed checksum, producing the file a
+// buggy or hostile writer would: structurally wrong but CRC-valid.
+func findSection(t *testing.T, data []byte, kind uint32) (entry, payload []byte) {
+	t.Helper()
+	count := int(binary.LittleEndian.Uint32(data[16:]))
+	for i := 0; i < count; i++ {
+		e := data[24+i*24:]
+		if binary.LittleEndian.Uint32(e) != kind {
+			continue
+		}
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		return e, data[off : off+length]
+	}
+	t.Fatalf("section %d not found", kind)
+	return nil, nil
+}
+
+func rewriteSection(t *testing.T, data []byte, kind uint32, mutate func(payload []byte)) {
+	t.Helper()
+	e, payload := findSection(t, data, kind)
+	mutate(payload)
+	crc := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(e[4:], crc)
+}
+
+// TestXQO2VerifyStructure pins the trust split between the default open
+// and the verified open: a CRC-valid file with out-of-range content is
+// accepted by OpenXQO2 (checksums only catch corruption; resident files
+// are a cache artifact this process wrote) but rejected by
+// OpenXQO2Verified and by a store in -verify-resident mode.
+func TestXQO2VerifyStructure(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.001, Seed: 11})
+	path := saveXQO2(t, d)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pristine file passes full verification.
+	if _, _, _, _, err := OpenXQO2Verified(path); err != nil {
+		t.Fatalf("verified open of pristine file: %v", err)
+	}
+
+	mutants := map[string]func([]byte){
+		"parent out of range": func(b []byte) {
+			rewriteSection(t, b, tree.SecParent, func(p []byte) {
+				binary.LittleEndian.PutUint32(p[4:], 1<<30)
+			})
+		},
+		"lastDesc before node": func(b []byte) {
+			rewriteSection(t, b, tree.SecLastDesc, func(p []byte) {
+				binary.LittleEndian.PutUint32(p[len(p)-4:], 0)
+			})
+		},
+		"occurrences unsorted": func(b []byte) {
+			// Swap the first two occurrences of some label with a list of
+			// ≥2 entries: both carry that label, so the default open's head
+			// spot check still passes, but the list stops being sorted.
+			_, off := findSection(t, b, index.SecOccOff)
+			lo := uint64(0)
+			found := false
+			for i := 0; i+16 <= len(off); i += 8 {
+				a := binary.LittleEndian.Uint64(off[i:])
+				if binary.LittleEndian.Uint64(off[i+8:]) >= a+2 {
+					lo, found = a, true
+					break
+				}
+			}
+			if !found {
+				t.Fatal("no label with >=2 occurrences")
+			}
+			rewriteSection(t, b, index.SecOccAll, func(p []byte) {
+				x := binary.LittleEndian.Uint32(p[lo*4:])
+				y := binary.LittleEndian.Uint32(p[lo*4+4:])
+				binary.LittleEndian.PutUint32(p[lo*4:], y)
+				binary.LittleEndian.PutUint32(p[lo*4+4:], x)
+			})
+		},
+	}
+	for name, mutate := range mutants {
+		data := bytes.Clone(orig)
+		mutate(data)
+		mut := filepath.Join(t.TempDir(), "mut.xqo2")
+		if err := os.WriteFile(mut, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, _, err := OpenXQO2(mut); err != nil {
+			t.Errorf("%s: default open rejected a CRC-valid file: %v", name, err)
+		}
+		if _, _, _, _, err := OpenXQO2Verified(mut); err == nil {
+			t.Errorf("%s: verified open accepted structurally invalid content", name)
+		}
+		s := New()
+		s.SetVerifyResident(true)
+		if _, err := s.LoadMapped("bad", mut); err == nil {
+			t.Errorf("%s: verifying store accepted structurally invalid content", name)
+		}
+	}
+}
+
+// TestXQO2Truncation requires clean errors for every truncation length.
+func TestXQO2Truncation(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.001, Seed: 3})
+	path := saveXQO2(t, d)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{0, 1, 2, 4, 8, 16, 64, 256} {
+		n := len(orig) * frac / 257
+		mut := filepath.Join(t.TempDir(), "trunc.xqo2")
+		if err := os.WriteFile(mut, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, _, err := OpenXQO2(mut); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestLoadMappedAndBudget exercises the store integration: mapped load,
+// stats accounting, budget-driven release of cold documents, and fault
+// counting when a released document is touched again.
+func TestLoadMappedAndBudget(t *testing.T) {
+	s := New()
+	var paths []string
+	ids := []string{"a", "b", "c", "d"}
+	var per int64
+	for i, id := range ids {
+		d := xmark.Generate(xmark.Config{Scale: 0.001, Seed: int64(i)})
+		p := saveXQO2(t, d)
+		paths = append(paths, p)
+		h, err := s.LoadMapped(id, p)
+		if err != nil {
+			t.Fatalf("LoadMapped(%s): %v", id, err)
+		}
+		if h.Stats.Source != SourceMapped || h.Stats.MappedBytes <= 0 {
+			t.Fatalf("bad mapped stats: %+v", h.Stats)
+		}
+		per = h.Stats.MappedBytes
+	}
+	st := s.Mapped()
+	if st.MappedBytes < 4*per/2 || st.ChargedBytes != st.MappedBytes || st.MapFaults != 0 {
+		t.Fatalf("accounting after load: %+v", st)
+	}
+	// Budget for roughly one document: the corpus is ~4x the budget, so
+	// the enforcer must shed the cold ones.
+	s.SetResidentBudget(per + per/2)
+	st = s.Mapped()
+	if st.ChargedBytes > per+per/2 {
+		t.Fatalf("charged %d over budget %d", st.ChargedBytes, per+per/2)
+	}
+	// Touch a shed document: it re-heats (a fault) and something colder
+	// is released to make room.
+	if _, ok := s.Get(ids[0]); !ok {
+		t.Fatal("document a gone")
+	}
+	st = s.Mapped()
+	if st.MapFaults == 0 {
+		t.Fatal("expected a map fault after touching a released document")
+	}
+	if st.ChargedBytes > per+per/2 {
+		t.Fatalf("charged %d over budget after touch", st.ChargedBytes)
+	}
+	// Queries against released documents still answer.
+	h, _ := s.Get(ids[1])
+	if h == nil || h.Doc.NumNodes() == 0 {
+		t.Fatal("released document unreadable")
+	}
+	// Evict drops the mapping from the accounting entirely.
+	s.Evict(ids[2])
+	st2 := s.Mapped()
+	if st2.MappedBytes >= st.MappedBytes {
+		t.Fatalf("evict did not shrink mapped bytes: %d -> %d", st.MappedBytes, st2.MappedBytes)
+	}
+	_ = paths
+}
+
+// TestMappedPatchCoW patches a mapped document and verifies the new
+// generation is heap-backed (no mapped bytes) while the base generation
+// keeps answering from the mapping.
+func TestMappedPatchCoW(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Scale: 0.001, Seed: 9})
+	path := saveXQO2(t, d)
+	s := New()
+	base, err := s.LoadMapped("doc", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseXML := base.Doc.XMLString()
+	fb := tree.NewBuilder()
+	fb.Open("grafted")
+	fb.Text("cow")
+	fb.Close()
+	frag := fb.MustFinish()
+	h2, err := s.Patch("doc", base.Gen, tree.Patch{Op: tree.OpInsert, Node: d.DocumentElement(), Before: tree.Nil, Frag: frag})
+	if err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	if h2.Stats.Source != SourcePatch || h2.Stats.MappedBytes != 0 {
+		t.Fatalf("patched generation should be heap-backed: %+v", h2.Stats)
+	}
+	if h2.Doc.XMLString() == baseXML {
+		t.Fatal("patch had no effect")
+	}
+	if base.Doc.XMLString() != baseXML {
+		t.Fatal("patch mutated the mapped base generation")
+	}
+}

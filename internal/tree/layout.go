@@ -1,0 +1,634 @@
+package tree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"repro/internal/bp"
+)
+
+// XQO2 resident layout. Unlike the XQO1 event stream — which must be
+// decoded through a Builder — XQO2 stores every array of the in-memory
+// representation (document link arrays, text offsets + blob, bitvector
+// words, rank superblocks, BP segment tree, label table) verbatim in
+// 64-byte-aligned, CRC-checksummed sections, so an mmap'd file can be
+// aliased into live structures without copying or rebuilding anything.
+// Opening a corpus is page-table setup; the OS pages cold documents.
+//
+//	offset 0   magic "XQO2"
+//	       4   version  (uint32 LE)
+//	       8   endianness mark (native uint64; must read 0x0102030405060708)
+//	      16   section count (uint32 LE), 4 reserved bytes
+//	      24   section table: count × {kind u32, crc32c u32, off u64, len u64}
+//	   aligned payload sections, each padded to a 64-byte boundary
+//
+// Scalar header/table fields are little-endian; section payloads are
+// native-endian (that is the point of the endianness mark: a file written
+// on a foreign-endian machine is rejected at open instead of silently
+// misread). Section CRCs are CRC32-Castagnoli over the raw payload and
+// are verified at open — still orders of magnitude cheaper than a parse.
+//
+// This file owns the container plus the Document/Succinct sections;
+// internal/index adds its sections in its own layout file (the index
+// package imports tree, not vice versa) and internal/store composes the
+// two into save/open-file operations.
+
+const (
+	xqo2Magic      = "XQO2"
+	xqo2Version    = 2
+	xqo2Align      = 64
+	xqo2EndianMark = 0x0102030405060708
+	xqo2HeaderLen  = 24
+	xqo2EntryLen   = 24
+)
+
+// Section kinds. The tree package owns kinds below 32; other packages
+// layer their sections on top (internal/index uses 32+).
+const (
+	SecDocMeta     uint32 = 1  // scalars: numNodes, numNames, parenLen, parenOnes
+	SecLabels      uint32 = 2  // []LabelID, len numNodes
+	SecParent      uint32 = 3  // []NodeID, len numNodes
+	SecFirstChild  uint32 = 4  // []NodeID, len numNodes
+	SecNextSibling uint32 = 5  // []NodeID, len numNodes
+	SecLastDesc    uint32 = 6  // []NodeID, len numNodes
+	SecDepth       uint32 = 7  // []int32, len numNodes
+	SecTextOff     uint32 = 8  // []uint32, len numNodes
+	SecTextBlob    uint32 = 9  // raw bytes
+	SecNameOff     uint32 = 10 // []uint32, len numNames+1
+	SecNameBlob    uint32 = 11 // raw bytes
+	SecBPWords     uint32 = 12 // []uint64: parenthesis bitvector words
+	SecBPSuper     uint32 = 13 // []uint64: rank superblock directory
+	SecBPBlockMin  uint32 = 14 // []int32: min-excess segment tree
+	SecBPBlockSum  uint32 = 15 // []int32: excess-sum segment tree
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SliceBytes reinterprets a slice of fixed-size pointer-free scalars
+// (int32, uint32, uint64, NodeID, ...) as its raw native-endian bytes
+// without copying. The result aliases s.
+func SliceBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// AliasSlice reinterprets raw bytes — typically a section of a mapped
+// XQO2 file — as a slice of fixed-size pointer-free scalars, without
+// copying. It fails if the byte length is not a multiple of the element
+// size or the data is misaligned for it (section payloads are 64-byte
+// aligned, so this only trips on corrupt section tables).
+func AliasSlice[T any](b []byte) ([]T, error) {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b)%size != 0 {
+		return nil, fmt.Errorf("tree: section length %d not a multiple of element size %d", len(b), size)
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%uintptr(size) != 0 {
+		return nil, fmt.Errorf("tree: section misaligned for element size %d", size)
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/size), nil
+}
+
+// LayoutWriter accumulates sections and writes the container.
+type LayoutWriter struct {
+	kinds []uint32
+	data  [][]byte
+}
+
+// NewLayoutWriter returns an empty container writer.
+func NewLayoutWriter() *LayoutWriter { return &LayoutWriter{} }
+
+// Add appends one section. Kinds must be unique within a container; data
+// is written verbatim (native-endian payloads by convention).
+func (w *LayoutWriter) Add(kind uint32, data []byte) {
+	w.kinds = append(w.kinds, kind)
+	w.data = append(w.data, data)
+}
+
+// WriteTo writes the assembled container.
+func (w *LayoutWriter) WriteTo(out io.Writer) (int64, error) {
+	count := len(w.kinds)
+	tableLen := xqo2HeaderLen + count*xqo2EntryLen
+	head := make([]byte, tableLen)
+	copy(head, xqo2Magic)
+	binary.LittleEndian.PutUint32(head[4:], xqo2Version)
+	*(*uint64)(unsafe.Pointer(&head[8])) = xqo2EndianMark
+	binary.LittleEndian.PutUint32(head[16:], uint32(count))
+
+	off := align64(tableLen)
+	for i, d := range w.data {
+		e := head[xqo2HeaderLen+i*xqo2EntryLen:]
+		binary.LittleEndian.PutUint32(e[0:], w.kinds[i])
+		binary.LittleEndian.PutUint32(e[4:], crc32.Checksum(d, castagnoli))
+		binary.LittleEndian.PutUint64(e[8:], uint64(off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(d)))
+		off = align64(off + len(d))
+	}
+
+	var n int64
+	var pad [xqo2Align]byte
+	write := func(b []byte) error {
+		k, err := out.Write(b)
+		n += int64(k)
+		return err
+	}
+	if err := write(head); err != nil {
+		return n, err
+	}
+	if p := align64(tableLen) - tableLen; p > 0 {
+		if err := write(pad[:p]); err != nil {
+			return n, err
+		}
+	}
+	for _, d := range w.data {
+		if err := write(d); err != nil {
+			return n, err
+		}
+		if p := align64(len(d)) - len(d); p > 0 {
+			if err := write(pad[:p]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func align64(n int) int { return (n + xqo2Align - 1) &^ (xqo2Align - 1) }
+
+// Layout is an opened XQO2 container: a parsed section table over a
+// (typically mapped) byte buffer, with every section checksum verified.
+type Layout struct {
+	secs  map[uint32][]byte
+	owner any
+}
+
+// OpenLayout parses and verifies a container. owner is the object that
+// keeps data's backing memory alive (an mmapx.Mapping); structures built
+// from the layout retain it so slices never outlive their pages. Every
+// section's bounds and CRC are checked here, so corruption surfaces as a
+// wrapped error at open rather than a fault mid-query.
+func OpenLayout(data []byte, owner any) (*Layout, error) {
+	if len(data) < xqo2HeaderLen {
+		return nil, fmt.Errorf("tree: xqo2: short file (%d bytes)", len(data))
+	}
+	if string(data[:4]) != xqo2Magic {
+		return nil, fmt.Errorf("tree: xqo2: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != xqo2Version {
+		return nil, fmt.Errorf("tree: xqo2: unsupported version %d (want %d)", v, xqo2Version)
+	}
+	if mark := *(*uint64)(unsafe.Pointer(&data[8])); mark != xqo2EndianMark {
+		return nil, fmt.Errorf("tree: xqo2: endianness mismatch (file written on a foreign-endian machine)")
+	}
+	count := int(binary.LittleEndian.Uint32(data[16:]))
+	if count < 0 || count > 1<<16 {
+		return nil, fmt.Errorf("tree: xqo2: unreasonable section count %d", count)
+	}
+	tableLen := xqo2HeaderLen + count*xqo2EntryLen
+	if len(data) < tableLen {
+		return nil, fmt.Errorf("tree: xqo2: truncated section table (%d bytes, need %d)", len(data), tableLen)
+	}
+	l := &Layout{secs: make(map[uint32][]byte, count), owner: owner}
+	type pending struct {
+		kind uint32
+		crc  uint32
+		sec  []byte
+	}
+	todo := make([]pending, 0, count)
+	for i := 0; i < count; i++ {
+		e := data[xqo2HeaderLen+i*xqo2EntryLen:]
+		kind := binary.LittleEndian.Uint32(e[0:])
+		crc := binary.LittleEndian.Uint32(e[4:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if off%xqo2Align != 0 {
+			return nil, fmt.Errorf("tree: xqo2: section %d misaligned offset %d", kind, off)
+		}
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("tree: xqo2: section %d out of bounds (off %d len %d, file %d)", kind, off, length, len(data))
+		}
+		if _, dup := l.secs[kind]; dup {
+			return nil, fmt.Errorf("tree: xqo2: duplicate section %d", kind)
+		}
+		sec := data[off : off+length : off+length]
+		todo = append(todo, pending{kind, crc, sec})
+		l.secs[kind] = sec
+	}
+	// Verify section checksums in parallel: hashing is the serial floor
+	// of the zero-copy open, and the sections are independent read-only
+	// ranges, so the wall cost drops to roughly the largest section.
+	if err := inParallel(len(todo), func(i int) error {
+		p := todo[i]
+		if got := crc32.Checksum(p.sec, castagnoli); got != p.crc {
+			return fmt.Errorf("tree: xqo2: section %d checksum mismatch (%08x != %08x)", p.kind, got, p.crc)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// inParallel runs fn(0..n-1) across goroutines and returns the error of
+// the lowest failing index (deterministic messages for corrupt files).
+// The open path's checksum and structural scans are each memory-bound
+// streaming passes over disjoint ranges, so they scale with cores.
+func inParallel(n int, fn func(i int) error) error {
+	// On a single-P runtime the goroutines would just serialize with
+	// scheduling overhead on top, so run inline; the error reported is
+	// the lowest-index failure either way.
+	if n <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Section returns a section's payload, or nil if absent. The slice
+// aliases the container's buffer.
+func (l *Layout) Section(kind uint32) []byte { return l.secs[kind] }
+
+// Owner returns the object pinning the container's backing memory.
+func (l *Layout) Owner() any { return l.owner }
+
+// section is Section with a required-presence, exact-element-count check.
+func layoutSlice[T any](l *Layout, kind uint32, wantLen int) ([]T, error) {
+	b, ok := l.secs[kind]
+	if !ok {
+		return nil, fmt.Errorf("tree: xqo2: missing section %d", kind)
+	}
+	s, err := AliasSlice[T](b)
+	if err != nil {
+		return nil, fmt.Errorf("tree: xqo2: section %d: %w", kind, err)
+	}
+	if wantLen >= 0 && len(s) != wantLen {
+		return nil, fmt.Errorf("tree: xqo2: section %d has %d elements (want %d)", kind, len(s), wantLen)
+	}
+	return s, nil
+}
+
+// AddDocumentSections serializes d and its succinct view into w. The
+// sections alias d's live arrays — nothing is copied until WriteTo.
+func AddDocumentSections(w *LayoutWriter, d *Document, s *Succinct) {
+	raw := s.bt.Raw()
+	meta := make([]byte, 32)
+	binary.LittleEndian.PutUint64(meta[0:], uint64(d.NumNodes()))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(d.names.Size()))
+	binary.LittleEndian.PutUint64(meta[16:], uint64(raw.ParenLen))
+	binary.LittleEndian.PutUint64(meta[24:], uint64(raw.Ones))
+	w.Add(SecDocMeta, meta)
+	w.Add(SecLabels, SliceBytes(d.labels))
+	w.Add(SecParent, SliceBytes(d.parent))
+	w.Add(SecFirstChild, SliceBytes(d.firstChild))
+	w.Add(SecNextSibling, SliceBytes(d.nextSibling))
+	w.Add(SecLastDesc, SliceBytes(d.lastDesc))
+	w.Add(SecDepth, SliceBytes(d.depth))
+	w.Add(SecTextOff, SliceBytes(d.textOff))
+	w.Add(SecTextBlob, d.textBlob)
+	nameOff := make([]uint32, 0, d.names.Size()+1)
+	var nameBlob []byte
+	for _, name := range d.names.names {
+		nameOff = append(nameOff, uint32(len(nameBlob)))
+		nameBlob = append(nameBlob, name...)
+	}
+	nameOff = append(nameOff, uint32(len(nameBlob)))
+	w.Add(SecNameOff, SliceBytes(nameOff))
+	w.Add(SecNameBlob, nameBlob)
+	w.Add(SecBPWords, SliceBytes(raw.Words))
+	w.Add(SecBPSuper, SliceBytes(raw.Super))
+	w.Add(SecBPBlockMin, SliceBytes(raw.BlockMin))
+	w.Add(SecBPBlockSum, SliceBytes(raw.BlockSum))
+}
+
+// DocumentFromLayout reassembles a Document and its Succinct view from an
+// opened container. The big arrays alias the container's buffer; only the
+// label table (a handful of interned names) is materialized on the heap,
+// so a patched generation's cloned table never dangles into an unmapped
+// file. The document retains the layout's owner, keeping the mapping
+// alive as long as the document (or any generation sharing its arrays)
+// is reachable.
+func DocumentFromLayout(l *Layout) (*Document, *Succinct, error) {
+	meta := l.Section(SecDocMeta)
+	if len(meta) != 32 {
+		return nil, nil, fmt.Errorf("tree: xqo2: doc meta section has %d bytes (want 32)", len(meta))
+	}
+	n := int(binary.LittleEndian.Uint64(meta[0:]))
+	numNames := int(binary.LittleEndian.Uint64(meta[8:]))
+	parenLen := int(binary.LittleEndian.Uint64(meta[16:]))
+	parenOnes := int(binary.LittleEndian.Uint64(meta[24:]))
+	if n < 1 || n > 1<<31-1 {
+		return nil, nil, fmt.Errorf("tree: xqo2: unreasonable node count %d", n)
+	}
+	if numNames < ReservedLabels || numNames > 1<<24 {
+		return nil, nil, fmt.Errorf("tree: xqo2: unreasonable label count %d", numNames)
+	}
+
+	d := &Document{mapping: l.owner}
+	var err error
+	if d.labels, err = layoutSlice[LabelID](l, SecLabels, n); err != nil {
+		return nil, nil, err
+	}
+	if d.parent, err = layoutSlice[NodeID](l, SecParent, n); err != nil {
+		return nil, nil, err
+	}
+	if d.firstChild, err = layoutSlice[NodeID](l, SecFirstChild, n); err != nil {
+		return nil, nil, err
+	}
+	if d.nextSibling, err = layoutSlice[NodeID](l, SecNextSibling, n); err != nil {
+		return nil, nil, err
+	}
+	if d.lastDesc, err = layoutSlice[NodeID](l, SecLastDesc, n); err != nil {
+		return nil, nil, err
+	}
+	if d.depth, err = layoutSlice[int32](l, SecDepth, n); err != nil {
+		return nil, nil, err
+	}
+	if d.textOff, err = layoutSlice[uint32](l, SecTextOff, n); err != nil {
+		return nil, nil, err
+	}
+	d.textBlob = l.Section(SecTextBlob)
+
+	// Shape checks here are O(1): section lengths against the node count
+	// (layoutSlice above) and the text directory's final offset against
+	// the blob. Element-wise structural validation — every link in
+	// range, text offsets monotone — is the opt-in VerifyStructure pass:
+	// the default open trusts checksummed content (the CRCs catch
+	// corruption; the format is a cache artifact written by this
+	// process), because re-scanning every array on every open would cost
+	// more than the rest of the zero-copy open combined. Untrusted files
+	// go through VerifyStructure, which errors instead of letting a
+	// crafted value panic a later query.
+	if int(d.textOff[n-1]) > len(d.textBlob) {
+		return nil, nil, fmt.Errorf("tree: xqo2: text offsets exceed blob (%d > %d)", d.textOff[n-1], len(d.textBlob))
+	}
+
+	// Label table: names are materialized as heap strings (the table is
+	// tiny and generation clones must not alias the mapping).
+	nameOff, err := layoutSlice[uint32](l, SecNameOff, numNames+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	nameBlob := l.Section(SecNameBlob)
+	lt := &LabelTable{ids: make(map[string]LabelID, numNames)}
+	for i := 0; i < numNames; i++ {
+		if nameOff[i] > nameOff[i+1] || int(nameOff[i+1]) > len(nameBlob) {
+			return nil, nil, fmt.Errorf("tree: xqo2: label name %d offsets invalid", i)
+		}
+		name := string(nameBlob[nameOff[i]:nameOff[i+1]])
+		lt.names = append(lt.names, name)
+		lt.ids[name] = LabelID(i)
+	}
+	if lt.names[LabelDoc] != "#doc" || lt.names[LabelText] != "#text" {
+		return nil, nil, fmt.Errorf("tree: xqo2: reserved labels missing (%q, %q)", lt.names[LabelDoc], lt.names[LabelText])
+	}
+	d.names = lt
+
+	raw := bp.Raw{ParenLen: parenLen, Ones: parenOnes, NumNodes: n}
+	if raw.Words, err = layoutSlice[uint64](l, SecBPWords, -1); err != nil {
+		return nil, nil, err
+	}
+	if raw.Super, err = layoutSlice[uint64](l, SecBPSuper, -1); err != nil {
+		return nil, nil, err
+	}
+	if raw.BlockMin, err = layoutSlice[int32](l, SecBPBlockMin, -1); err != nil {
+		return nil, nil, err
+	}
+	if raw.BlockSum, err = layoutSlice[int32](l, SecBPBlockSum, -1); err != nil {
+		return nil, nil, err
+	}
+	bt, err := bp.FromRaw(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tree: xqo2: %w", err)
+	}
+	return d, &Succinct{bt: bt, doc: d}, nil
+}
+
+// VerifyStructure runs the element-wise structural validation that the
+// zero-copy open skips by default: every link in range, lastDesc forming
+// valid subtree intervals, labels within the name table, and text
+// offsets monotone within the blob. It is the defense for files from
+// outside this process — a crafted value that passes the checksums
+// (which only catch corruption) would otherwise surface as a bounds
+// panic on whatever query first touches it. Each array gets one
+// branchless streaming pass (allU32Below and friends accumulate the
+// range predicate with OR/AND folds), the passes run in parallel over
+// their disjoint arrays, and the offending node is found by a re-scan
+// only on failure.
+func (d *Document) VerifyStructure() error {
+	n := d.NumNodes()
+	numNames := d.names.Size()
+	linkCheck := func(name string, s []NodeID) func() error {
+		return func() error {
+			// Links live in [-1, n-1], i.e. link+1 in [0, n] unsigned.
+			if !allSuccBelow(s, uint32(n)+1) {
+				v := firstSuccAbove(s, uint32(n))
+				return fmt.Errorf("tree: xqo2: node %d %s %d out of range", v, name, s[v])
+			}
+			return nil
+		}
+	}
+	checks := []func() error{
+		func() error {
+			if !allU32Below(d.labels, uint32(numNames)) {
+				v := firstAtLeast(d.labels, uint32(numNames))
+				return fmt.Errorf("tree: xqo2: node %d label %d out of range", v, d.labels[v])
+			}
+			return nil
+		},
+		linkCheck("parent", d.parent),
+		linkCheck("firstChild", d.firstChild),
+		linkCheck("nextSibling", d.nextSibling),
+		func() error {
+			// lastDesc[v] must lie in [v, n): OR-fold the sign bit of
+			// lastDesc[v]-v (catches ld < v), the sign bit of the raw
+			// value (catches negatives) and AND-fold ld-n (clear top
+			// bit means some ld >= n). Unrolled four ways to split the
+			// fold dependency chains, as in allU32Below.
+			ld := d.lastDesc
+			var u0, u1, u2, u3 uint32
+			a0, a1, a2, a3 := ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)
+			v := 0
+			for ; v+4 <= len(ld); v += 4 {
+				l0, l1, l2, l3 := ld[v], ld[v+1], ld[v+2], ld[v+3]
+				u0 |= uint32(int32(l0)-int32(v)) | uint32(l0)
+				a0 &= uint32(l0) - uint32(n)
+				u1 |= uint32(int32(l1)-int32(v)-1) | uint32(l1)
+				a1 &= uint32(l1) - uint32(n)
+				u2 |= uint32(int32(l2)-int32(v)-2) | uint32(l2)
+				a2 &= uint32(l2) - uint32(n)
+				u3 |= uint32(int32(l3)-int32(v)-3) | uint32(l3)
+				a3 &= uint32(l3) - uint32(n)
+			}
+			for ; v < len(ld); v++ {
+				u0 |= uint32(int32(ld[v])-int32(v)) | uint32(ld[v])
+				a0 &= uint32(ld[v]) - uint32(n)
+			}
+			bad := u0 | u1 | u2 | u3
+			and := a0 & a1 & a2 & a3
+			if bad>>31 != 0 || and>>31 == 0 {
+				for v, l := range ld {
+					if l < NodeID(v) || int(l) >= n {
+						return fmt.Errorf("tree: xqo2: node %d lastDesc %d out of range", v, l)
+					}
+				}
+			}
+			return nil
+		},
+		func() error {
+			// Text offsets: non-decreasing (OR-fold the sign of each
+			// step, four independent lanes), and then by monotonicity
+			// bounded by the blob via the final element alone.
+			off := d.textOff
+			var s0, s1, s2, s3 uint32
+			v := 1
+			for ; v+4 <= len(off); v += 4 {
+				s0 |= off[v] - off[v-1] // top bit set iff off[v] < off[v-1] (or a ≥2^31 jump; re-scan sorts it out)
+				s1 |= off[v+1] - off[v]
+				s2 |= off[v+2] - off[v+1]
+				s3 |= off[v+3] - off[v+2]
+			}
+			for ; v < len(off); v++ {
+				s0 |= off[v] - off[v-1]
+			}
+			if (s0|s1|s2|s3)>>31 != 0 || int(off[n-1]) > len(d.textBlob) {
+				prev := uint32(0)
+				for v, o := range off {
+					if int(o) > len(d.textBlob) || o < prev {
+						return fmt.Errorf("tree: xqo2: node %d text offset %d invalid", v, o)
+					}
+					prev = o
+				}
+			}
+			return nil
+		},
+	}
+	return inParallel(len(checks), func(i int) error { return checks[i]() })
+}
+
+// allU32Below reports whether every element of s lies in [0, bound),
+// for bound < 2^31. Branchless: the OR fold's top bit catches negative
+// values; the AND fold of v-bound keeps its top bit only if every
+// (non-negative) v is below bound. One pass, two ALU ops per element —
+// these scans dominate the zero-copy open, so no per-element branches.
+func allU32Below[T ~int32](s []T, bound uint32) bool {
+	// Four independent accumulator pairs: the OR/AND folds are 1-cycle
+	// dependency chains, so a single pair caps the scan at one element
+	// per cycle regardless of load width. Splitting the chain four ways
+	// lets the superscalar core retire several elements per cycle.
+	var n0, n1, n2, n3 uint32
+	a0, a1, a2, a3 := ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)
+	i := 0
+	for ; i+4 <= len(s); i += 4 {
+		v0, v1, v2, v3 := uint32(s[i]), uint32(s[i+1]), uint32(s[i+2]), uint32(s[i+3])
+		n0 |= v0
+		a0 &= v0 - bound
+		n1 |= v1
+		a1 &= v1 - bound
+		n2 |= v2
+		a2 &= v2 - bound
+		n3 |= v3
+		a3 &= v3 - bound
+	}
+	for ; i < len(s); i++ {
+		v := uint32(s[i])
+		n0 |= v
+		a0 &= v - bound
+	}
+	neg := n0 | n1 | n2 | n3
+	and := a0 & a1 & a2 & a3
+	return neg>>31 == 0 && and>>31 != 0
+}
+
+// firstAtLeast returns the first index of s whose uint32 value reaches
+// bound — the failure re-scan paired with allU32Below.
+func firstAtLeast[T ~int32](s []T, bound uint32) int {
+	for i, v := range s {
+		if uint32(v) >= bound {
+			return i
+		}
+	}
+	return -1
+}
+
+// allSuccBelow is allU32Below over v+1: tree links live in [-1, n-1],
+// so the shifted range [0, n] is one fold against bound = n+1 (≤ 2^31).
+func allSuccBelow(s []NodeID, bound uint32) bool {
+	// Same chain split as allU32Below, but over uint64 loads: each load
+	// brings in two links, halving load-port pressure on what is a
+	// memory-bound scan over mapped pages.
+	var n0, n1, n2, n3 uint32
+	a0, a1, a2, a3 := ^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)
+	i := 0
+	if len(s) >= 2 {
+		words := unsafe.Slice((*uint64)(unsafe.Pointer(&s[0])), len(s)/2)
+		j := 0
+		for ; j+2 <= len(words); j += 2 {
+			w0, w1 := words[j], words[j+1]
+			v0, v1 := uint32(w0)+1, uint32(w0>>32)+1
+			v2, v3 := uint32(w1)+1, uint32(w1>>32)+1
+			n0 |= v0
+			a0 &= v0 - bound
+			n1 |= v1
+			a1 &= v1 - bound
+			n2 |= v2
+			a2 &= v2 - bound
+			n3 |= v3
+			a3 &= v3 - bound
+		}
+		for ; j < len(words); j++ {
+			v0, v1 := uint32(words[j])+1, uint32(words[j]>>32)+1
+			n0 |= v0
+			a0 &= v0 - bound
+			n1 |= v1
+			a1 &= v1 - bound
+		}
+		i = len(words) * 2
+	}
+	for ; i < len(s); i++ {
+		v := uint32(s[i] + 1)
+		n0 |= v
+		a0 &= v - bound
+	}
+	neg := n0 | n1 | n2 | n3
+	and := a0 & a1 & a2 & a3
+	return neg>>31 == 0 && and>>31 != 0
+}
+
+// firstSuccAbove returns the first index with uint32(v+1) > bound.
+func firstSuccAbove(s []NodeID, bound uint32) int {
+	for i, v := range s {
+		if uint32(v+1) > bound {
+			return i
+		}
+	}
+	return -1
+}

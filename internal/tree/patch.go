@@ -226,9 +226,28 @@ func (d *Document) splice(dl *Delta) *Document {
 		nextSibling: make([]NodeID, nn),
 		lastDesc:    make([]NodeID, nn),
 		depth:       make([]int32, nn),
-		texts:       make([]string, nn),
+		textOff:     make([]uint32, nn),
 		names:       d.names.clone(),
 	}
+	// Text blob: prefix bytes keep their offsets; fragment and suffix
+	// bytes are rebased. Everything is copied into fresh heap memory —
+	// a patched generation shares nothing with its parent, so a parent
+	// aliasing a read-only mapping can be released independently.
+	prefixLen := d.textOffAt(q)
+	fragBase, fragLen := 0, 0
+	if m > 0 {
+		fr := dl.Frag
+		fragBase = int(fr.textOff[1])
+		fragLen = fr.textOffAt(NodeID(m)+1) - fragBase
+	}
+	suffixBase := d.textOffAt(cut)
+	blob := make([]byte, 0, prefixLen+fragLen+len(d.textBlob)-suffixBase)
+	blob = append(blob, d.textBlob[:prefixLen]...)
+	if m > 0 {
+		blob = append(blob, dl.Frag.textBlob[fragBase:fragBase+fragLen]...)
+	}
+	blob = append(blob, d.textBlob[suffixBase:]...)
+	nd.textBlob = blob
 	// remap shifts an old link value into the new id space. Values
 	// inside the removed interval are unreachable after the sibling
 	// re-links below, except the splice position itself, which maps to
@@ -247,7 +266,7 @@ func (d *Document) splice(dl *Delta) *Document {
 	// Prefix [0, q): ids are stable; links into the shifted suffix move.
 	copy(nd.labels[:q], d.labels[:q])
 	copy(nd.depth[:q], d.depth[:q])
-	copy(nd.texts[:q], d.texts[:q])
+	copy(nd.textOff[:q], d.textOff[:q])
 	lastDescP := d.lastDesc[parent]
 	for v := NodeID(0); v < q; v++ {
 		nd.parent[v] = d.parent[v] // always < v < q
@@ -297,8 +316,8 @@ func (d *Document) splice(dl *Delta) *Document {
 			nd.firstChild[v] = fremap(fr.firstChild[f])
 			nd.nextSibling[v] = fremap(fr.nextSibling[f])
 			nd.lastDesc[v] = fremap(fr.lastDesc[f])
+			nd.textOff[v] = uint32(prefixLen + int(fr.textOff[f]) - fragBase)
 		}
-		copy(nd.texts[q:int(q)+m], fr.texts[1:m+1])
 	}
 
 	// Suffix [cut, n): ids and every link value >= cut shift by delta;
@@ -311,8 +330,8 @@ func (d *Document) splice(dl *Delta) *Document {
 		nd.firstChild[w] = remap(d.firstChild[v])
 		nd.nextSibling[w] = remap(d.nextSibling[v])
 		nd.lastDesc[w] = d.lastDesc[v] + delta
+		nd.textOff[w] = uint32(prefixLen + fragLen + int(d.textOff[v]) - suffixBase)
 	}
-	copy(nd.texts[cut+delta:], d.texts[cut:])
 
 	// Re-link the sibling chain around the splice. anchor is the old
 	// node whose chain position the splice takes; target is what the

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -11,7 +12,9 @@ import (
 // label table, preorder label stream with depth deltas, text table) that
 // round-trips exactly and loads without re-parsing XML. Parsing a 100MB
 // XMark file costs seconds; loading its serialized tree is one pass of
-// varint decoding.
+// varint decoding. The stream ends with a CRC32-Castagnoli trailer over
+// everything before it (magic included); the reader verifies it, so a
+// corrupted file that happens to decode cleanly is still rejected.
 
 const (
 	magic         = "XQO1"
@@ -24,22 +27,28 @@ const (
 func (d *Document) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	n := int64(0)
+	crc := uint32(0)
 	count := func(k int, err error) error {
 		n += int64(k)
 		return err
 	}
-	if err := count(bw.WriteString(magic)); err != nil {
+	writeHashed := func(b []byte) error {
+		crc = crc32.Update(crc, castagnoli, b)
+		return count(bw.Write(b))
+	}
+	if err := writeHashed([]byte(magic)); err != nil {
 		return n, err
 	}
 	var buf [binary.MaxVarintLen64]byte
 	writeUvarint := func(x uint64) error {
 		k := binary.PutUvarint(buf[:], x)
-		return count(bw.Write(buf[:k]))
+		return writeHashed(buf[:k])
 	}
 	writeString := func(s string) error {
 		if err := writeUvarint(uint64(len(s))); err != nil {
 			return err
 		}
+		crc = crc32.Update(crc, castagnoli, []byte(s))
 		return count(bw.WriteString(s))
 	}
 	// Label table (including the reserved entries, for self-containment).
@@ -58,12 +67,12 @@ func (d *Document) WriteTo(w io.Writer) (int64, error) {
 	var walk func(v NodeID) error
 	walk = func(v NodeID) error {
 		if d.labels[v] == LabelText {
-			if err := count(bw.Write([]byte{opText})); err != nil {
+			if err := writeHashed([]byte{opText}); err != nil {
 				return err
 			}
-			return writeString(d.texts[v])
+			return writeString(d.Text(v))
 		}
-		if err := count(bw.Write([]byte{opOpen})); err != nil {
+		if err := writeHashed([]byte{opOpen}); err != nil {
 			return err
 		}
 		if err := writeUvarint(uint64(d.labels[v])); err != nil {
@@ -74,7 +83,7 @@ func (d *Document) WriteTo(w io.Writer) (int64, error) {
 				return err
 			}
 		}
-		return count(bw.Write([]byte{opClose}))
+		return writeHashed([]byte{opClose})
 	}
 	// Children of the synthetic root only; the root is implicit.
 	for c := d.firstChild[0]; c != Nil; c = d.nextSibling[c] {
@@ -82,15 +91,43 @@ func (d *Document) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	// Checksum trailer (not itself hashed).
+	var tb [4]byte
+	binary.LittleEndian.PutUint32(tb[:], crc)
+	if err := count(bw.Write(tb[:])); err != nil {
+		return n, err
+	}
 	if err := bw.Flush(); err != nil {
 		return n, err
 	}
 	return n, nil
 }
 
+// crcReader hashes everything it reads; ReadDocument uses it to verify
+// the stream's checksum trailer without buffering the whole stream.
+type crcReader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func (r *crcReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		var one = [1]byte{b}
+		r.crc = crc32.Update(r.crc, castagnoli, one[:])
+	}
+	return b, err
+}
+
+func (r *crcReader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	r.crc = crc32.Update(r.crc, castagnoli, p[:n])
+	return n, err
+}
+
 // ReadDocument deserializes a document written by WriteTo.
 func ReadDocument(r io.Reader) (*Document, error) {
-	br := bufio.NewReader(r)
+	br := &crcReader{br: bufio.NewReader(r)}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("tree: reading magic: %w", err)
@@ -176,6 +213,16 @@ func ReadDocument(r io.Reader) (*Document, error) {
 			return nil, fmt.Errorf("tree: expected close, got opcode %d", op)
 		}
 		b.Close()
+	}
+	// Checksum trailer: read from the underlying reader (unhashed) and
+	// compare against everything hashed so far.
+	want := br.crc
+	var tb [4]byte
+	if _, err := io.ReadFull(br.br, tb[:]); err != nil {
+		return nil, fmt.Errorf("tree: truncated checksum trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tb[:]); got != want {
+		return nil, fmt.Errorf("tree: checksum mismatch (stored %08x, computed %08x)", got, want)
 	}
 	return b.Finish()
 }

@@ -80,15 +80,41 @@ func TestDeserializeErrors(t *testing.T) {
 		}
 		return buf.Bytes()
 	}()
+	corruptTrailer := append([]byte(nil), good...)
+	corruptTrailer[len(corruptTrailer)-1] ^= 0xff
+	corruptBody := append([]byte(nil), good...)
+	corruptBody[len(corruptBody)/2] ^= 0x01
 	cases := map[string][]byte{
-		"empty":        {},
-		"bad magic":    []byte("NOPE" + string(good[4:])),
-		"truncated":    good[:len(good)/2],
-		"short header": good[:6],
+		"empty":            {},
+		"bad magic":        []byte("NOPE" + string(good[4:])),
+		"truncated":        good[:len(good)/2],
+		"short header":     good[:6],
+		"missing trailer":  good[:len(good)-4],
+		"corrupt checksum": corruptTrailer,
+		"corrupt body":     corruptBody,
 	}
 	for name, data := range cases {
 		if _, err := tree.ReadDocument(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// A payload corruption that still decodes structurally must be caught by
+// the checksum: flipping any single byte of the stream (trailer included)
+// must never yield a silently accepted document.
+func TestDeserializeChecksumCatchesFlips(t *testing.T) {
+	d := tgen.Random(11, tgen.Config{MaxNodes: 60, TextProb: 0.3})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := 0; i < len(data); i++ {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x5a
+		if _, err := tree.ReadDocument(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("byte flip at offset %d accepted", i)
 		}
 	}
 }

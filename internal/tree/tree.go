@@ -16,7 +16,9 @@ package tree
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"unsafe"
 )
 
 // NodeID identifies a node by its 0-based preorder rank.
@@ -96,6 +98,13 @@ func (lt *LabelTable) Names() []string {
 }
 
 // Document is an immutable XML document tree.
+//
+// Text content lives in one contiguous blob indexed by cumulative offsets:
+// node v's text is textBlob[textOff[v]:textOff[v+1]] (end-of-blob for the
+// last node). Non-text nodes contribute zero-length ranges. This shape —
+// rather than a []string — is what lets the XQO2 resident format alias a
+// document's text directly out of an mmap'd file, and keeps Text zero-copy
+// either way.
 type Document struct {
 	labels      []LabelID
 	parent      []NodeID
@@ -103,8 +112,13 @@ type Document struct {
 	nextSibling []NodeID
 	lastDesc    []NodeID // last preorder node of the subtree
 	depth       []int32
-	texts       []string // per preorder rank; "" for non-text nodes
+	textOff     []uint32 // per preorder rank: start of v's text in textBlob
+	textBlob    []byte
 	names       *LabelTable
+	// mapping pins the mmap owner for documents aliasing a mapped file,
+	// so the mapping outlives every slice derived from it (the owner's
+	// finalizer unmaps). nil for heap-backed documents.
+	mapping any
 }
 
 // Builder constructs a Document from open/text/close events.
@@ -138,7 +152,7 @@ func (b *Builder) open(l LabelID) NodeID {
 	d.nextSibling = append(d.nextSibling, Nil)
 	d.lastDesc = append(d.lastDesc, v)
 	d.depth = append(d.depth, int32(len(b.stack)))
-	d.texts = append(d.texts, "")
+	d.textOff = append(d.textOff, uint32(len(d.textBlob)))
 	if len(b.stack) > 0 {
 		p := b.stack[len(b.stack)-1]
 		d.parent[v] = p
@@ -164,7 +178,10 @@ func (b *Builder) OpenID(l LabelID) NodeID { return b.open(l) }
 // Text appends a text-node child with the given content.
 func (b *Builder) Text(content string) NodeID {
 	v := b.open(LabelText)
-	b.doc.texts[v] = content
+	if len(b.doc.textBlob)+len(content) > math.MaxUint32 {
+		panic("tree: text content exceeds 4GB blob limit")
+	}
+	b.doc.textBlob = append(b.doc.textBlob, content...)
 	b.close()
 	return v
 }
@@ -245,14 +262,44 @@ func (d *Document) LastDesc(v NodeID) NodeID { return d.lastDesc[v] }
 // Depth returns the depth of v; the synthetic root has depth 0.
 func (d *Document) Depth(v NodeID) int { return int(d.depth[v]) }
 
+// textOffAt returns the blob offset where v's text starts, treating any
+// rank past the last node as end-of-blob; splice arithmetic uses it for
+// cut points that may sit one past the end.
+func (d *Document) textOffAt(v NodeID) int {
+	if int(v) < len(d.textOff) {
+		return int(d.textOff[v])
+	}
+	return len(d.textBlob)
+}
+
+// textRange returns the [start, end) byte range of v's text in textBlob.
+func (d *Document) textRange(v NodeID) (int, int) {
+	start := int(d.textOff[v])
+	end := len(d.textBlob)
+	if int(v)+1 < len(d.textOff) {
+		end = int(d.textOff[v+1])
+	}
+	return start, end
+}
+
 // Text returns the text content of a #text node (empty for others,
-// including Nil and out-of-range ids).
+// including Nil and out-of-range ids). The string aliases the document's
+// text blob — zero-copy, valid for the document's lifetime, and never
+// written to (the blob is immutable, possibly a read-only mapping).
 func (d *Document) Text(v NodeID) string {
-	if v < 0 || int(v) >= len(d.texts) {
+	if v < 0 || int(v) >= len(d.textOff) {
 		return ""
 	}
-	return d.texts[v]
+	start, end := d.textRange(v)
+	if start == end {
+		return ""
+	}
+	return unsafe.String(&d.textBlob[start], end-start)
 }
+
+// TextBytes reports the total size of the document's text content; the
+// store's resident-memory estimate uses it instead of walking every node.
+func (d *Document) TextBytes() int { return len(d.textBlob) }
 
 // IsAncestorOrSelf reports whether a is v or an ancestor of v.
 func (d *Document) IsAncestorOrSelf(a, v NodeID) bool {
@@ -280,7 +327,7 @@ func (d *Document) BinaryRight(v NodeID) NodeID { return d.nextSibling[v] }
 // and debugging. Text is emitted raw with minimal escaping.
 func (d *Document) WriteXML(sb *strings.Builder, v NodeID) {
 	if d.labels[v] == LabelText {
-		sb.WriteString(escapeText(d.texts[v]))
+		sb.WriteString(escapeText(d.Text(v)))
 		return
 	}
 	synthetic := d.labels[v] == LabelDoc

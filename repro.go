@@ -21,8 +21,10 @@ package repro
 import (
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/tree"
 	"repro/internal/xmark"
 	"repro/internal/xmlparse"
@@ -104,8 +106,14 @@ func LoadDocument(r io.Reader) (*Document, error) {
 	return tree.ReadDocument(r)
 }
 
-// SaveDocumentFile writes d to a file in the binary format.
+// SaveDocumentFile writes d to a file in a binary format chosen by
+// extension: ".xqo2" gets the mmap-resident XQO2 container (opened
+// zero-copy by LoadDocumentFile or xpqd -mmap), anything else the
+// compact XQO1 event stream.
 func SaveDocumentFile(path string, d *Document) error {
+	if strings.HasSuffix(path, ".xqo2") {
+		return store.SaveXQO2File(path, d)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -117,8 +125,14 @@ func SaveDocumentFile(path string, d *Document) error {
 	return f.Close()
 }
 
-// LoadDocumentFile reads a binary document file.
+// LoadDocumentFile reads a binary document file. ".xqo2" files are
+// mmap'd and aliased zero-copy (the document pins the mapping for its
+// lifetime); other files are decoded as the XQO1 event stream.
 func LoadDocumentFile(path string) (*Document, error) {
+	if strings.HasSuffix(path, ".xqo2") {
+		d, _, _, _, err := store.OpenXQO2(path)
+		return d, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
